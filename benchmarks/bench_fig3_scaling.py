@@ -1,0 +1,117 @@
+"""Figure 3: Lightyear vs. Minesweeper scaling on synthetic full meshes.
+
+Four series, as in the paper:
+
+* **3a** — Minesweeper's SMT encoding size (variables, constraints) grows
+  super-linearly with the number of routers.
+* **3b** — the largest encoding of any single Lightyear local check is
+  *independent* of network size.
+* **3c** — Minesweeper's solve time explodes and hits the timeout budget.
+* **3d** — Lightyear verifies the full property set in near-linear time,
+  with solving a small fraction of the total.
+
+Run: ``pytest benchmarks/bench_fig3_scaling.py --benchmark-only -s``
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.minesweeper import MinesweeperVerifier
+from repro.core.safety import verify_safety
+
+from benchmarks.conftest import fullmesh_problem
+
+
+# Paper scale: Minesweeper to N=40 (2h timeout on Z3), Lightyear to N=100.
+# Our solver is pure Python, so the sweeps shrink proportionally; the curve
+# shapes are the result.
+FIG3A_SIZES = (2, 4, 8, 12, 16)
+FIG3B_SIZES = (10, 25, 50, 100)
+FIG3C_SIZES = (2, 3, 4, 5)
+FIG3C_TIMEOUT_SIZE = 7
+FIG3C_BUDGET = 8000
+FIG3D_SIZES = (10, 25, 50, 100)
+
+
+@pytest.mark.parametrize("n", FIG3A_SIZES)
+def test_fig3a_minesweeper_encoding_size(benchmark, n):
+    config, ghost, prop, __ = fullmesh_problem(n)
+    verifier = MinesweeperVerifier(config, ghosts=(ghost,))
+
+    def encode():
+        return verifier.encoding_size(prop)
+
+    num_vars, num_clauses = benchmark.pedantic(encode, rounds=1, iterations=1)
+    benchmark.extra_info["routers"] = n
+    benchmark.extra_info["smt_vars"] = num_vars
+    benchmark.extra_info["smt_constraints"] = num_clauses
+    # The monolithic encoding grows super-linearly (Θ(N²) route records).
+    assert num_vars > 50 * n
+
+
+@pytest.mark.parametrize("n", FIG3B_SIZES)
+def test_fig3b_lightyear_max_check_size(benchmark, n):
+    config, ghost, prop, invariants = fullmesh_problem(n)
+
+    def run():
+        return verify_safety(config, prop, invariants, ghosts=(ghost,))
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.passed
+    benchmark.extra_info["routers"] = n
+    benchmark.extra_info["max_vars_per_check"] = report.max_vars
+    benchmark.extra_info["max_constraints_per_check"] = report.max_clauses
+    benchmark.extra_info["num_checks"] = report.num_checks
+    # The paper's key claim: per-check size does not grow with the network.
+    assert report.max_vars < 100
+    assert report.max_clauses < 200
+
+
+@pytest.mark.parametrize("n", FIG3C_SIZES)
+def test_fig3c_minesweeper_solve_time(benchmark, n):
+    config, ghost, prop, __ = fullmesh_problem(n)
+    verifier = MinesweeperVerifier(config, ghosts=(ghost,))
+
+    def run():
+        return verifier.verify(prop, conflict_budget=FIG3C_BUDGET)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["routers"] = n
+    benchmark.extra_info["verified"] = result.verified
+    benchmark.extra_info["timed_out"] = result.timed_out
+    benchmark.extra_info["solve_time_s"] = round(result.stats.solve_time_s, 3)
+    benchmark.extra_info["total_time_s"] = round(result.wall_time_s, 3)
+    assert result.verified and not result.timed_out
+
+
+def test_fig3c_minesweeper_times_out(benchmark):
+    """The paper's 'exceeds 2hrs' row: the budget runs out well before the
+    Lightyear sweep's largest sizes."""
+    config, ghost, prop, __ = fullmesh_problem(FIG3C_TIMEOUT_SIZE)
+    verifier = MinesweeperVerifier(config, ghosts=(ghost,))
+
+    def run():
+        return verifier.verify(prop, conflict_budget=2000)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["routers"] = FIG3C_TIMEOUT_SIZE
+    benchmark.extra_info["timed_out"] = result.timed_out
+    assert result.timed_out
+
+
+@pytest.mark.parametrize("n", FIG3D_SIZES)
+def test_fig3d_lightyear_verification_time(benchmark, n):
+    config, ghost, prop, invariants = fullmesh_problem(n)
+
+    def run():
+        return verify_safety(config, prop, invariants, ghosts=(ghost,))
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.passed
+    benchmark.extra_info["routers"] = n
+    benchmark.extra_info["num_checks"] = report.num_checks
+    benchmark.extra_info["solve_time_s"] = round(report.solve_time_s, 3)
+    benchmark.extra_info["total_time_s"] = round(report.wall_time_s, 3)
+    # Solving is a small fraction of total time (Fig. 3d's two curves).
+    assert report.solve_time_s <= report.wall_time_s

@@ -1,0 +1,88 @@
+"""Table 1: the tool-feature comparison, demonstrated on live code.
+
+Table 1 is qualitative; this benchmark prints the matrix and *demonstrates*
+each of Lightyear's claimed cells with a small live run:
+
+* analyzes all peer BGP routes — external edges are unconstrained;
+* analyzes failures — a verified safety property survives random failures;
+* checks safety AND liveness;
+* near-linear scaling — check count grows linearly in edges while the
+  per-check encoding stays constant;
+* localizes bugs — a planted bug is blamed on the right router.
+
+Run: ``pytest benchmarks/bench_table1_features.py --benchmark-only -s``
+"""
+
+from __future__ import annotations
+
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Route
+from repro.bgp.simulator import Simulator
+from repro.bgp.topology import Edge
+from repro.core.liveness import verify_liveness
+from repro.core.safety import verify_safety
+from repro.lang.ghost import GhostAttribute
+from repro.workloads.figure1 import build_figure1
+
+from benchmarks.conftest import fullmesh_problem
+from tests.core.conftest import (
+    customer_liveness_property,
+    no_transit_invariants,
+    no_transit_property,
+)
+
+
+MATRIX = """
+Feature                          Minesweeper  Bagpipe  Plankton  ARC  Lightyear
+Analyzes all peer BGP routes          yes        yes      no      no     yes
+Analyzes failures                     yes        no       yes     yes    yes*
+Checks safety and liveness            yes        part     no      yes    yes
+Verification fully automatic          yes        yes      yes     yes    part**
+Near linear scaling                   no         no       no      no     yes
+Localizes configuration bugs          no         no       no      no     yes
+*  safety properties only (liveness needs the witness path intact)
+** users supply local invariants; checks are generated and run automatically
+"""
+
+
+def test_table1_feature_matrix(benchmark):
+    def demonstrate():
+        results = {}
+        config = build_figure1()
+        ghost = GhostAttribute.source_tracker(
+            "FromISP1", config.topology, [Edge("ISP1", "R1")]
+        )
+        # Safety + all external announcements + localization.
+        report = verify_safety(
+            config, no_transit_property(), no_transit_invariants(config), ghosts=(ghost,)
+        )
+        results["safety"] = report.passed
+        # Liveness.
+        results["liveness"] = verify_liveness(
+            config, customer_liveness_property()
+        ).passed
+        # Failure resilience: verified property holds in a failure scenario.
+        sim = Simulator(config, failed_edges={Edge("R1", "R2"), Edge("R1", "R3")})
+        out = sim.run({"ISP1": [Route(prefix=Prefix.parse("50.0.0.0/8"))]})
+        results["failures"] = out.routes_forwarded_on(Edge("R2", "ISP2")) == []
+        # Localization.
+        buggy = build_figure1(buggy_r1_tagging=True)
+        bug_report = verify_safety(
+            buggy, no_transit_property(), no_transit_invariants(buggy), ghosts=(ghost,)
+        )
+        results["localizes"] = {f.blamed_router for f in bug_report.failures} == {"R1"}
+        # Near-linear scaling: checks grow with edges, per-check size fixed.
+        sizes = {}
+        for n in (4, 8):
+            cfg, g, prop, inv = fullmesh_problem(n)
+            r = verify_safety(cfg, prop, inv, ghosts=(g,))
+            sizes[n] = (r.num_checks, r.max_vars)
+        results["linear_checks"] = sizes[8][0] > sizes[4][0]
+        results["constant_check_size"] = sizes[8][1] == sizes[4][1]
+        return results
+
+    results = benchmark.pedantic(demonstrate, rounds=1, iterations=1)
+    print(MATRIX)
+    assert all(results.values()), results
+    for feature, ok in results.items():
+        benchmark.extra_info[feature] = ok

@@ -1,0 +1,165 @@
+"""Table 4 / §6.1: the three WAN use cases on the synthetic cloud WAN.
+
+The paper verifies (a) eleven Internet peering policies, (b) IP-reuse
+safety and (c) IP-reuse liveness on a production WAN with hundreds of
+routers.  These benchmarks run the same three verification problems on the
+synthetic WAN at two scales and record check counts and times.  The paper's
+headline numbers — ≤15 minutes per property sequentially, 16 minutes for a
+four-property batch — correspond to the ``*_large`` rows here.
+
+Run: ``pytest benchmarks/bench_table4_wan.py --benchmark-only``
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.liveness import verify_liveness
+from repro.core.safety import verify_safety_family
+from repro.workloads.wan import build_wan
+from repro.workloads.wan_properties import (
+    all_peering_problems,
+    ip_reuse_liveness_problem,
+    ip_reuse_safety_problem,
+    peering_problem,
+    peering_quality_predicates,
+)
+
+
+WAN_SMALL = dict(regions=3, routers_per_region=3, peers_per_edge=1)
+WAN_LARGE = dict(regions=6, routers_per_region=5, peers_per_edge=3)
+
+
+@pytest.fixture(scope="module")
+def wan_small():
+    return build_wan(**WAN_SMALL)
+
+
+@pytest.fixture(scope="module")
+def wan_large():
+    return build_wan(**WAN_LARGE)
+
+
+def _bench_peering(benchmark, wan, name: str):
+    quality = peering_quality_predicates(wan)[name]
+    problem = peering_problem(wan, name, quality)
+
+    def run():
+        return verify_safety_family(
+            wan.config, problem.properties, problem.invariants, ghosts=(problem.ghost,)
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.passed
+    benchmark.extra_info["routers"] = len(wan.config.topology.routers)
+    benchmark.extra_info["edges"] = len(wan.config.topology.edges)
+    benchmark.extra_info["num_checks"] = report.num_checks
+    benchmark.extra_info["wall_time_s"] = round(report.wall_time_s, 3)
+    return report
+
+
+def test_table4a_bogon_filtering_small(benchmark, wan_small):
+    _bench_peering(benchmark, wan_small, "no-bogons")
+
+
+def test_table4a_bogon_filtering_large(benchmark, wan_large):
+    _bench_peering(benchmark, wan_large, "no-bogons")
+
+
+def test_table4a_all_eleven_properties_large(benchmark, wan_large):
+    """§6.1: an automation running several properties back to back."""
+
+    def run():
+        reports = []
+        for problem in all_peering_problems(wan_large):
+            reports.append(
+                verify_safety_family(
+                    wan_large.config,
+                    problem.properties,
+                    problem.invariants,
+                    ghosts=(problem.ghost,),
+                )
+            )
+        return reports
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(r.passed for r in reports)
+    benchmark.extra_info["properties"] = len(reports)
+    benchmark.extra_info["total_checks"] = sum(r.num_checks for r in reports)
+    benchmark.extra_info["total_time_s"] = round(
+        sum(r.wall_time_s for r in reports), 3
+    )
+
+
+def test_table4b_ip_reuse_safety_small(benchmark, wan_small):
+    problem = ip_reuse_safety_problem(wan_small, region=0)
+
+    def run():
+        return verify_safety_family(
+            wan_small.config,
+            problem.properties,
+            problem.invariants,
+            ghosts=(problem.ghost,),
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.passed
+    benchmark.extra_info["num_checks"] = report.num_checks
+
+
+def test_table4b_ip_reuse_safety_all_regions_large(benchmark, wan_large):
+    def run():
+        reports = []
+        for region in range(wan_large.regions):
+            problem = ip_reuse_safety_problem(wan_large, region)
+            reports.append(
+                verify_safety_family(
+                    wan_large.config,
+                    problem.properties,
+                    problem.invariants,
+                    ghosts=(problem.ghost,),
+                )
+            )
+        return reports
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(r.passed for r in reports)
+    benchmark.extra_info["regions"] = wan_large.regions
+    benchmark.extra_info["total_checks"] = sum(r.num_checks for r in reports)
+
+
+def test_table4c_ip_reuse_liveness_small(benchmark, wan_small):
+    problem = ip_reuse_liveness_problem(wan_small, region=0)
+
+    def run():
+        return verify_liveness(
+            wan_small.config,
+            problem.property,
+            interference_invariants=problem.interference_invariants,
+            ghosts=(problem.ghost,),
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.passed
+    benchmark.extra_info["num_checks"] = report.num_checks
+
+
+def test_table4c_ip_reuse_liveness_all_regions_large(benchmark, wan_large):
+    def run():
+        reports = []
+        for region in range(wan_large.regions):
+            problem = ip_reuse_liveness_problem(wan_large, region)
+            reports.append(
+                verify_liveness(
+                    wan_large.config,
+                    problem.property,
+                    interference_invariants=problem.interference_invariants,
+                    ghosts=(problem.ghost,),
+                )
+            )
+        return reports
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(r.passed for r in reports)
+    benchmark.extra_info["regions"] = wan_large.regions
+    benchmark.extra_info["total_checks"] = sum(r.num_checks for r in reports)

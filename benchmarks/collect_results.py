@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Regenerate the EXPERIMENTS.md measurement tables.
+
+Runs the Figure 3 sweeps and the Table 4 verification problems once each
+and prints markdown tables with the measured values.  Slower and more
+thorough than the pytest-benchmark suite; intended to be run manually:
+
+    python benchmarks/collect_results.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from conftest import fullmesh_problem
+
+from repro.baselines.minesweeper import MinesweeperVerifier
+from repro.core.liveness import verify_liveness
+from repro.core.safety import verify_safety, verify_safety_family
+from repro.workloads.wan import build_wan
+from repro.workloads.wan_properties import (
+    all_peering_problems,
+    ip_reuse_liveness_problem,
+    ip_reuse_safety_problem,
+)
+
+
+def fig3a(sizes=(2, 4, 8, 12, 16)) -> None:
+    print("\n### Figure 3a — Minesweeper encoding size\n")
+    print("| routers | SMT variables | SMT constraints |")
+    print("|---:|---:|---:|")
+    for n in sizes:
+        config, ghost, prop, __ = fullmesh_problem(n)
+        num_vars, num_clauses = MinesweeperVerifier(
+            config, ghosts=(ghost,)
+        ).encoding_size(prop)
+        print(f"| {n} | {num_vars} | {num_clauses} |")
+
+
+def fig3b_3d(sizes=(10, 25, 50, 100)) -> None:
+    print("\n### Figures 3b and 3d — Lightyear per-check size and runtime\n")
+    print("| routers | local checks | max vars/check | max constraints/check "
+          "| solve time (s) | total time (s) |")
+    print("|---:|---:|---:|---:|---:|---:|")
+    for n in sizes:
+        config, ghost, prop, invariants = fullmesh_problem(n)
+        report = verify_safety(config, prop, invariants, ghosts=(ghost,))
+        assert report.passed
+        print(
+            f"| {n} | {report.num_checks} | {report.max_vars} | "
+            f"{report.max_clauses} | {report.solve_time_s:.2f} | "
+            f"{report.wall_time_s:.2f} |"
+        )
+
+
+def fig3c(sizes=(2, 3, 4, 5, 6, 7), budget=8000) -> None:
+    print("\n### Figure 3c — Minesweeper runtime (conflict budget "
+          f"{budget} ≙ the paper's 2h timeout)\n")
+    print("| routers | outcome | solve time (s) | total time (s) |")
+    print("|---:|---|---:|---:|")
+    for n in sizes:
+        config, ghost, prop, __ = fullmesh_problem(n)
+        result = MinesweeperVerifier(config, ghosts=(ghost,)).verify(
+            prop, conflict_budget=budget
+        )
+        outcome = (
+            "verified" if result.verified
+            else ("TIMEOUT" if result.timed_out else "violated?!")
+        )
+        print(
+            f"| {n} | {outcome} | {result.stats.solve_time_s:.1f} | "
+            f"{result.wall_time_s:.1f} |"
+        )
+        if result.timed_out:
+            break
+
+
+def table4(regions=6, routers_per_region=5, peers=3) -> None:
+    wan = build_wan(
+        regions=regions, routers_per_region=routers_per_region, peers_per_edge=peers
+    )
+    topo = wan.config.topology
+    print(
+        f"\n### Table 4 — WAN use cases "
+        f"({len(topo.routers)} routers, {len(topo.edges)} directed edges, "
+        f"{regions} regions)\n"
+    )
+    print("| use case | properties | local checks | time (s) | result |")
+    print("|---|---:|---:|---:|---|")
+
+    start = time.perf_counter()
+    total_checks = 0
+    ok = True
+    for problem in all_peering_problems(wan):
+        report = verify_safety_family(
+            wan.config, problem.properties, problem.invariants, ghosts=(problem.ghost,)
+        )
+        total_checks += report.num_checks
+        ok &= report.passed
+    print(
+        f"| 4a: 11 peering policies | 11×{len(topo.routers)} | {total_checks} "
+        f"| {time.perf_counter() - start:.1f} | {'PASS' if ok else 'FAIL'} |"
+    )
+
+    start = time.perf_counter()
+    total_checks = 0
+    ok = True
+    for region in range(wan.regions):
+        problem = ip_reuse_safety_problem(wan, region)
+        report = verify_safety_family(
+            wan.config, problem.properties, problem.invariants, ghosts=(problem.ghost,)
+        )
+        total_checks += report.num_checks
+        ok &= report.passed
+    print(
+        f"| 4b: IP-reuse safety, all regions | {wan.regions} | {total_checks} "
+        f"| {time.perf_counter() - start:.1f} | {'PASS' if ok else 'FAIL'} |"
+    )
+
+    start = time.perf_counter()
+    total_checks = 0
+    ok = True
+    for region in range(wan.regions):
+        problem = ip_reuse_liveness_problem(wan, region)
+        report = verify_liveness(
+            wan.config,
+            problem.property,
+            interference_invariants=problem.interference_invariants,
+            ghosts=(problem.ghost,),
+        )
+        total_checks += report.num_checks
+        ok &= report.passed
+    print(
+        f"| 4c: IP-reuse liveness, all regions | {wan.regions} | {total_checks} "
+        f"| {time.perf_counter() - start:.1f} | {'PASS' if ok else 'FAIL'} |"
+    )
+
+
+def main() -> None:
+    print("# Measured results (regenerate with benchmarks/collect_results.py)")
+    fig3a()
+    fig3c()
+    fig3b_3d()
+    table4()
+
+
+if __name__ == "__main__":
+    main()

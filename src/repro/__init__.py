@@ -1,0 +1,43 @@
+"""Lightyear: modular BGP control-plane verification (SIGCOMM 2023).
+
+A from-scratch reproduction of *"Lightyear: Using Modularity to Scale BGP
+Control Plane Verification"* (Tang, Beckett, Benaloh, Jayaraman, Patil,
+Millstein, Varghese), including every substrate the paper depends on:
+
+* :mod:`repro.smt` — a CDCL SAT solver with a bit-vector bit-blasting
+  front end (the stand-in for Z3/Zen);
+* :mod:`repro.bgp` — routes, prefixes, topologies, route maps, a config
+  parser, and a message-passing BGP simulator implementing the §3 trace
+  semantics;
+* :mod:`repro.lang` — symbolic routes, route-map transfer functions, ghost
+  attributes, and the predicate DSL for properties and invariants;
+* :mod:`repro.core` — Lightyear itself: local-check generation, safety and
+  liveness verification, counterexample localisation, and incremental
+  re-verification;
+* :mod:`repro.baselines` — a Minesweeper-style monolithic verifier and an
+  rcc-style local-only checker for comparison;
+* :mod:`repro.workloads` — the paper's synthetic evaluation networks.
+
+Quickstart::
+
+    from repro.bgp.topology import Edge
+    from repro.core import Lightyear, SafetyProperty
+    from repro.lang import GhostAttribute
+    from repro.lang.predicates import GhostIs, HasCommunity, Implies, Not
+    from repro.workloads.figure1 import TRANSIT_COMMUNITY, build_figure1
+
+    config = build_figure1()
+    ghost = GhostAttribute.source_tracker(
+        "FromISP1", config.topology, [Edge("ISP1", "R1")]
+    )
+    engine = Lightyear(config, ghosts=(ghost,))
+    prop = SafetyProperty(Edge("R2", "ISP2"), Not(GhostIs("FromISP1")))
+    inv = engine.invariants(
+        default=Implies(GhostIs("FromISP1"), HasCommunity(TRANSIT_COMMUNITY))
+    ).set_edge("R2", "ISP2", Not(GhostIs("FromISP1")))
+    assert engine.verify_safety(prop, inv).passed
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["smt", "bgp", "lang", "core", "baselines", "workloads"]

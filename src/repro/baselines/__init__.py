@@ -1,0 +1,20 @@
+"""Baseline verifiers Lightyear is compared against.
+
+* :mod:`repro.baselines.minesweeper` — a Minesweeper-style monolithic
+  encoder: one SMT problem jointly constraining every edge's advertised
+  route and every router's best-route selection.  Used by the Figure 3
+  scaling comparison.
+* :mod:`repro.baselines.localonly` — an rcc-style checker that runs only
+  user-listed local checks with no assume-guarantee closure, demonstrating
+  why unstructured local checking misses bugs Lightyear catches.
+"""
+
+from repro.baselines.minesweeper import MinesweeperResult, MinesweeperVerifier
+from repro.baselines.localonly import LocalOnlyChecker, LocalOnlyResult
+
+__all__ = [
+    "MinesweeperResult",
+    "MinesweeperVerifier",
+    "LocalOnlyChecker",
+    "LocalOnlyResult",
+]

@@ -1,0 +1,91 @@
+"""Concrete BGP substrate: routes, prefixes, topologies, policies, and a
+message-passing simulator implementing the trace semantics of §3 of the
+paper.
+
+This package has no dependency on the SMT layer; it provides the *concrete*
+semantics that the symbolic layer (:mod:`repro.lang`) mirrors and that the
+test suite uses as ground truth.
+"""
+
+from repro.bgp.prefix import Prefix, PrefixRange, PrefixTrie
+from repro.bgp.route import Community, Route, ORIGIN_IGP, ORIGIN_EGP, ORIGIN_INCOMPLETE
+from repro.bgp.topology import Edge, Topology
+from repro.bgp.policy import (
+    Action,
+    AddCommunity,
+    ClearCommunities,
+    DeleteCommunity,
+    Match,
+    MatchAll,
+    MatchAny,
+    MatchAsPathContains,
+    MatchAsPathLength,
+    MatchCommunity,
+    MatchLocalPrefRange,
+    MatchMedRange,
+    MatchNextHopIn,
+    MatchNot,
+    MatchOrigin,
+    MatchPrefix,
+    PrependAsPath,
+    RouteMap,
+    RouteMapClause,
+    SetLocalPref,
+    SetMed,
+    SetNextHop,
+    SetOrigin,
+)
+from repro.bgp.config import NeighborConfig, NetworkConfig, RouterConfig
+from repro.bgp.selection import best_route, prefer
+from repro.bgp.simulator import Event, EventKind, SimulationResult, Simulator
+from repro.bgp.configparse import parse_config, ConfigSyntaxError
+from repro.bgp.configjson import config_from_json, config_to_json
+
+__all__ = [
+    "Prefix",
+    "PrefixRange",
+    "PrefixTrie",
+    "Community",
+    "Route",
+    "ORIGIN_IGP",
+    "ORIGIN_EGP",
+    "ORIGIN_INCOMPLETE",
+    "Edge",
+    "Topology",
+    "Action",
+    "AddCommunity",
+    "ClearCommunities",
+    "DeleteCommunity",
+    "Match",
+    "MatchAll",
+    "MatchAny",
+    "MatchAsPathContains",
+    "MatchAsPathLength",
+    "MatchCommunity",
+    "MatchLocalPrefRange",
+    "MatchMedRange",
+    "MatchNextHopIn",
+    "MatchNot",
+    "MatchOrigin",
+    "MatchPrefix",
+    "PrependAsPath",
+    "RouteMap",
+    "RouteMapClause",
+    "SetLocalPref",
+    "SetMed",
+    "SetNextHop",
+    "SetOrigin",
+    "NeighborConfig",
+    "NetworkConfig",
+    "RouterConfig",
+    "best_route",
+    "prefer",
+    "Event",
+    "EventKind",
+    "SimulationResult",
+    "Simulator",
+    "parse_config",
+    "ConfigSyntaxError",
+    "config_from_json",
+    "config_to_json",
+]

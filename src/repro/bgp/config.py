@@ -1,0 +1,173 @@
+"""Network configuration: per-router BGP sessions, route maps, origination.
+
+``NetworkConfig`` is the concrete realisation of the paper's §3.1 policy
+triple: it derives the functions ``Import(edge, route)``,
+``Export(edge, route)`` and ``Originate(edge)`` from per-router
+configuration.  Both the simulator and the verifier consume this object; the
+verifier additionally lifts the same route maps to symbolic transfer
+functions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.bgp.policy import RouteMap
+from repro.bgp.route import Route
+from repro.bgp.topology import Edge, Topology
+
+
+@dataclass
+class NeighborConfig:
+    """One BGP session as seen from the owning router."""
+
+    peer: str
+    remote_asn: int
+    import_map: RouteMap | None = None
+    export_map: RouteMap | None = None
+    originated: tuple[Route, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.originated, tuple):
+            self.originated = tuple(self.originated)
+
+
+@dataclass
+class RouterConfig:
+    """A router's BGP configuration: its ASN, sessions, and RR clients.
+
+    ``rr_clients`` names the iBGP neighbors this router acts as a route
+    reflector for; an empty set means the router is an ordinary iBGP
+    speaker subject to the full-mesh rule.
+    """
+
+    name: str
+    asn: int
+    neighbors: dict[str, NeighborConfig] = field(default_factory=dict)
+    rr_clients: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.rr_clients, frozenset):
+            self.rr_clients = frozenset(self.rr_clients)
+
+    def add_neighbor(self, neighbor: NeighborConfig) -> None:
+        if neighbor.peer in self.neighbors:
+            raise ValueError(f"{self.name}: duplicate neighbor {neighbor.peer!r}")
+        self.neighbors[neighbor.peer] = neighbor
+
+    def digest(self) -> str:
+        """A stable fingerprint used for incremental re-verification."""
+        h = hashlib.sha256()
+        h.update(f"{self.name}:{self.asn}:{sorted(self.rr_clients)}".encode())
+        for peer in sorted(self.neighbors):
+            h.update(repr(self.neighbors[peer]).encode())
+        return h.hexdigest()
+
+
+class NetworkConfig:
+    """The full network: topology plus per-router configurations.
+
+    External nodes have no :class:`RouterConfig`; their ASNs are recorded in
+    ``external_asns`` so the simulator can build AS paths for injected
+    announcements.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self.routers: dict[str, RouterConfig] = {}
+        self.external_asns: dict[str, int] = {}
+
+    def add_router_config(self, config: RouterConfig) -> None:
+        if not self.topology.is_router(config.name):
+            raise ValueError(f"{config.name!r} is not an internal router")
+        if config.name in self.routers:
+            raise ValueError(f"duplicate configuration for {config.name!r}")
+        self.routers[config.name] = config
+
+    def set_external_asn(self, name: str, asn: int) -> None:
+        if not self.topology.is_external(name):
+            raise ValueError(f"{name!r} is not an external node")
+        self.external_asns[name] = asn
+
+    def asn_of(self, node: str) -> int:
+        if node in self.routers:
+            return self.routers[node].asn
+        if node in self.external_asns:
+            return self.external_asns[node]
+        raise KeyError(f"no ASN recorded for {node!r}")
+
+    def validate(self) -> list[str]:
+        """Return a list of consistency problems (empty = valid)."""
+        problems: list[str] = []
+        for name in sorted(self.topology.routers):
+            if name not in self.routers:
+                problems.append(f"router {name!r} has no configuration")
+        for name, config in sorted(self.routers.items()):
+            for peer, ncfg in sorted(config.neighbors.items()):
+                if not self.topology.has_edge(name, peer) and not self.topology.has_edge(peer, name):
+                    problems.append(f"{name}: neighbor {peer!r} has no topology edge")
+                try:
+                    actual = self.asn_of(peer)
+                except KeyError:
+                    continue
+                if actual != ncfg.remote_asn:
+                    problems.append(
+                        f"{name}: neighbor {peer!r} remote-as {ncfg.remote_asn} "
+                        f"but {peer!r} is AS {actual}"
+                    )
+        return problems
+
+    # ------------------------------------------------------------------
+    # The §3.1 policy functions
+    # ------------------------------------------------------------------
+
+    def neighbor_config(self, router: str, peer: str) -> NeighborConfig | None:
+        config = self.routers.get(router)
+        if config is None:
+            return None
+        return config.neighbors.get(peer)
+
+    def import_map(self, edge: Edge) -> RouteMap | None:
+        """Import route map applied at ``edge.dst`` to routes from ``edge.src``."""
+        ncfg = self.neighbor_config(edge.dst, edge.src)
+        return None if ncfg is None else ncfg.import_map
+
+    def export_map(self, edge: Edge) -> RouteMap | None:
+        """Export route map applied at ``edge.src`` to routes sent to ``edge.dst``."""
+        ncfg = self.neighbor_config(edge.src, edge.dst)
+        return None if ncfg is None else ncfg.export_map
+
+    def is_ebgp(self, edge: Edge) -> bool:
+        """True if the session crosses an AS boundary."""
+        try:
+            return self.asn_of(edge.src) != self.asn_of(edge.dst)
+        except KeyError:
+            return True
+
+    def import_route(self, edge: Edge, route: Route) -> Route | None:
+        """``Import(A -> B, r)``: B's import filter applied to r, or None."""
+        route_map = self.import_map(edge)
+        if route_map is None:
+            return route
+        return route_map.apply(route)
+
+    def export_route(self, edge: Edge, route: Route) -> Route | None:
+        """``Export(A -> B, r)``: A's export filter, plus eBGP AS prepend."""
+        route_map = self.export_map(edge)
+        if route_map is not None:
+            result = route_map.apply(route)
+        else:
+            result = route
+        if result is None:
+            return None
+        if edge.src in self.routers and self.is_ebgp(edge):
+            result = result.prepend_as(self.routers[edge.src].asn)
+        return result
+
+    def originate(self, edge: Edge) -> tuple[Route, ...]:
+        """``Originate(A -> B)``: routes injected by A toward B."""
+        ncfg = self.neighbor_config(edge.src, edge.dst)
+        if ncfg is None:
+            return ()
+        return ncfg.originated

@@ -1,0 +1,267 @@
+"""JSON serialisation of :class:`NetworkConfig`.
+
+Round-trips the full configuration model so that synthetic workloads can be
+saved, diffed, and re-loaded, and so the CLI can accept machine-generated
+configurations alongside the text dialect.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.bgp.config import NeighborConfig, NetworkConfig, RouterConfig
+from repro.bgp.policy import (
+    Action,
+    AddCommunity,
+    ClearCommunities,
+    DeleteCommunity,
+    Disposition,
+    Match,
+    MatchAll,
+    MatchAny,
+    MatchAsPathContains,
+    MatchAsPathLength,
+    MatchCommunity,
+    MatchLocalPrefRange,
+    MatchMedRange,
+    MatchNextHopIn,
+    MatchNot,
+    MatchOrigin,
+    MatchPrefix,
+    PrependAsPath,
+    RouteMap,
+    RouteMapClause,
+    SetLocalPref,
+    SetMed,
+    SetNextHop,
+    SetOrigin,
+)
+from repro.bgp.prefix import Prefix, PrefixRange
+from repro.bgp.route import Community, Route
+from repro.bgp.topology import Topology
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+
+
+def _match_to_json(match: Match) -> dict[str, Any]:
+    if isinstance(match, MatchCommunity):
+        return {"kind": "community", "community": str(match.community)}
+    if isinstance(match, MatchPrefix):
+        return {"kind": "prefix", "ranges": [str(r) for r in match.ranges]}
+    if isinstance(match, MatchAsPathContains):
+        return {"kind": "as-path-contains", "asn": match.asn}
+    if isinstance(match, MatchAsPathLength):
+        return {"kind": "as-path-length", "low": match.low, "high": match.high}
+    if isinstance(match, MatchOrigin):
+        return {"kind": "origin", "origin": match.origin}
+    if isinstance(match, MatchNextHopIn):
+        return {"kind": "next-hop", "prefixes": [str(p) for p in match.prefixes]}
+    if isinstance(match, MatchMedRange):
+        return {"kind": "med", "low": match.low, "high": match.high}
+    if isinstance(match, MatchLocalPrefRange):
+        return {"kind": "local-pref", "low": match.low, "high": match.high}
+    if isinstance(match, MatchNot):
+        return {"kind": "not", "inner": _match_to_json(match.inner)}
+    if isinstance(match, MatchAny):
+        return {"kind": "any", "inners": [_match_to_json(m) for m in match.inners]}
+    if isinstance(match, MatchAll):
+        return {"kind": "all", "inners": [_match_to_json(m) for m in match.inners]}
+    raise TypeError(f"cannot serialise match {match!r}")
+
+
+def _action_to_json(action: Action) -> dict[str, Any]:
+    if isinstance(action, SetLocalPref):
+        return {"kind": "set-local-pref", "value": action.value}
+    if isinstance(action, SetMed):
+        return {"kind": "set-med", "value": action.value}
+    if isinstance(action, SetNextHop):
+        return {"kind": "set-next-hop", "value": action.value}
+    if isinstance(action, AddCommunity):
+        return {"kind": "add-community", "community": str(action.community)}
+    if isinstance(action, DeleteCommunity):
+        return {"kind": "delete-community", "community": str(action.community)}
+    if isinstance(action, ClearCommunities):
+        return {"kind": "clear-communities"}
+    if isinstance(action, PrependAsPath):
+        return {"kind": "prepend", "asn": action.asn, "count": action.count}
+    if isinstance(action, SetOrigin):
+        return {"kind": "set-origin", "origin": action.origin}
+    raise TypeError(f"cannot serialise action {action!r}")
+
+
+def _route_to_json(route: Route) -> dict[str, Any]:
+    return {
+        "prefix": str(route.prefix),
+        "as_path": list(route.as_path),
+        "next_hop": route.next_hop,
+        "local_pref": route.local_pref,
+        "med": route.med,
+        "communities": sorted(str(c) for c in route.communities),
+        "origin": route.origin,
+    }
+
+
+def _route_map_to_json(route_map: RouteMap) -> dict[str, Any]:
+    return {
+        "name": route_map.name,
+        "clauses": [
+            {
+                "seq": c.seq,
+                "disposition": c.disposition.value,
+                "matches": [_match_to_json(m) for m in c.matches],
+                "actions": [_action_to_json(a) for a in c.actions],
+            }
+            for c in route_map.clauses
+        ],
+    }
+
+
+def config_to_json(config: NetworkConfig) -> str:
+    """Serialise a NetworkConfig to a JSON document string."""
+    doc: dict[str, Any] = {
+        "externals": {
+            name: config.external_asns.get(name)
+            for name in sorted(config.topology.externals)
+        },
+        "routers": {},
+    }
+    for name in sorted(config.routers):
+        rc = config.routers[name]
+        doc["routers"][name] = {
+            "asn": rc.asn,
+            "neighbors": {
+                peer: {
+                    "remote_asn": ncfg.remote_asn,
+                    "import_map": None
+                    if ncfg.import_map is None
+                    else _route_map_to_json(ncfg.import_map),
+                    "export_map": None
+                    if ncfg.export_map is None
+                    else _route_map_to_json(ncfg.export_map),
+                    "originated": [_route_to_json(r) for r in ncfg.originated],
+                }
+                for peer, ncfg in sorted(rc.neighbors.items())
+            },
+        }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Decoding
+# ---------------------------------------------------------------------------
+
+
+def _match_from_json(doc: dict[str, Any]) -> Match:
+    kind = doc["kind"]
+    if kind == "community":
+        return MatchCommunity(Community.parse(doc["community"]))
+    if kind == "prefix":
+        return MatchPrefix(tuple(PrefixRange.parse(r) for r in doc["ranges"]))
+    if kind == "as-path-contains":
+        return MatchAsPathContains(doc["asn"])
+    if kind == "as-path-length":
+        return MatchAsPathLength(doc["low"], doc["high"])
+    if kind == "origin":
+        return MatchOrigin(doc["origin"])
+    if kind == "next-hop":
+        return MatchNextHopIn(tuple(Prefix.parse(p) for p in doc["prefixes"]))
+    if kind == "med":
+        return MatchMedRange(doc["low"], doc["high"])
+    if kind == "local-pref":
+        return MatchLocalPrefRange(doc["low"], doc["high"])
+    if kind == "not":
+        return MatchNot(_match_from_json(doc["inner"]))
+    if kind == "any":
+        return MatchAny(tuple(_match_from_json(m) for m in doc["inners"]))
+    if kind == "all":
+        return MatchAll(tuple(_match_from_json(m) for m in doc["inners"]))
+    raise ValueError(f"unknown match kind {kind!r}")
+
+
+def _action_from_json(doc: dict[str, Any]) -> Action:
+    kind = doc["kind"]
+    if kind == "set-local-pref":
+        return SetLocalPref(doc["value"])
+    if kind == "set-med":
+        return SetMed(doc["value"])
+    if kind == "set-next-hop":
+        return SetNextHop(doc["value"])
+    if kind == "add-community":
+        return AddCommunity(Community.parse(doc["community"]))
+    if kind == "delete-community":
+        return DeleteCommunity(Community.parse(doc["community"]))
+    if kind == "clear-communities":
+        return ClearCommunities()
+    if kind == "prepend":
+        return PrependAsPath(doc["asn"], doc.get("count", 1))
+    if kind == "set-origin":
+        return SetOrigin(doc["origin"])
+    raise ValueError(f"unknown action kind {kind!r}")
+
+
+def _route_from_json(doc: dict[str, Any]) -> Route:
+    return Route(
+        prefix=Prefix.parse(doc["prefix"]),
+        as_path=tuple(doc.get("as_path", ())),
+        next_hop=doc.get("next_hop", 0),
+        local_pref=doc.get("local_pref", 100),
+        med=doc.get("med", 0),
+        communities=frozenset(Community.parse(c) for c in doc.get("communities", ())),
+        origin=doc.get("origin", 0),
+    )
+
+
+def _route_map_from_json(doc: dict[str, Any]) -> RouteMap:
+    return RouteMap(
+        doc["name"],
+        tuple(
+            RouteMapClause(
+                seq=c["seq"],
+                disposition=Disposition(c["disposition"]),
+                matches=tuple(_match_from_json(m) for m in c.get("matches", ())),
+                actions=tuple(_action_from_json(a) for a in c.get("actions", ())),
+            )
+            for c in doc.get("clauses", ())
+        ),
+    )
+
+
+def config_from_json(text: str) -> NetworkConfig:
+    """Parse a JSON document produced by :func:`config_to_json`."""
+    doc = json.loads(text)
+    topo = Topology()
+    for name in doc.get("routers", {}):
+        topo.add_router(name)
+    for name in doc.get("externals", {}):
+        topo.add_external(name)
+
+    config = NetworkConfig(topo)
+    for name, asn in doc.get("externals", {}).items():
+        if asn is not None:
+            config.external_asns[name] = asn
+
+    for name, rdoc in doc.get("routers", {}).items():
+        rc = RouterConfig(name=name, asn=rdoc["asn"])
+        for peer, ndoc in rdoc.get("neighbors", {}).items():
+            topo.add_peering(name, peer)
+            rc.add_neighbor(
+                NeighborConfig(
+                    peer=peer,
+                    remote_asn=ndoc["remote_asn"],
+                    import_map=None
+                    if ndoc.get("import_map") is None
+                    else _route_map_from_json(ndoc["import_map"]),
+                    export_map=None
+                    if ndoc.get("export_map") is None
+                    else _route_map_from_json(ndoc["export_map"]),
+                    originated=tuple(
+                        _route_from_json(r) for r in ndoc.get("originated", ())
+                    ),
+                )
+            )
+        config.add_router_config(rc)
+    return config

@@ -1,0 +1,254 @@
+"""IPv4 prefixes, prefix-list ranges, and a binary trie for prefix sets.
+
+Routes in the paper's model carry a prefix = (address, length) pair (§3.1).
+This module implements that pair with the operations the rest of the system
+needs: containment, overlap, parsing, and efficient membership queries over
+large prefix collections (bogon lists, reused-IP pools).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+_MAX_LEN = 32
+_ADDR_MASK = (1 << 32) - 1
+
+
+def _mask_for(length: int) -> int:
+    if length == 0:
+        return 0
+    return (_ADDR_MASK << (32 - length)) & _ADDR_MASK
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse dotted-quad IPv4 text into a 32-bit integer."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise ValueError(f"invalid IPv4 address {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise ValueError(f"invalid IPv4 address {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(value: int) -> str:
+    """Format a 32-bit integer as dotted-quad text."""
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """An IPv4 prefix: a network address and a mask length.
+
+    The address is stored canonically (host bits zeroed), so two equal
+    prefixes always compare equal.
+    """
+
+    address: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= _MAX_LEN:
+            raise ValueError(f"prefix length out of range: {self.length}")
+        if not 0 <= self.address <= _ADDR_MASK:
+            raise ValueError(f"address out of range: {self.address:#x}")
+        canonical = self.address & _mask_for(self.length)
+        if canonical != self.address:
+            object.__setattr__(self, "address", canonical)
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"10.0.0.0/8"`` notation."""
+        if "/" not in text:
+            raise ValueError(f"missing /length in prefix {text!r}")
+        addr_text, __, len_text = text.partition("/")
+        return cls(parse_ipv4(addr_text), int(len_text))
+
+    @property
+    def mask(self) -> int:
+        return _mask_for(self.length)
+
+    def contains_address(self, address: int) -> bool:
+        return address & self.mask == self.address
+
+    def contains(self, other: "Prefix") -> bool:
+        """True if ``other`` is equal to or more specific than this prefix."""
+        return other.length >= self.length and self.contains_address(other.address)
+
+    def overlaps(self, other: "Prefix") -> bool:
+        return self.contains(other) or other.contains(self)
+
+    def subprefixes(self, length: int) -> Iterator["Prefix"]:
+        """All prefixes of the given (longer) length contained in this one."""
+        if length < self.length:
+            raise ValueError("target length is shorter than the prefix")
+        count = 1 << (length - self.length)
+        step = 1 << (32 - length)
+        for i in range(count):
+            yield Prefix(self.address + i * step, length)
+
+    def __str__(self) -> str:
+        return f"{format_ipv4(self.address)}/{self.length}"
+
+
+@dataclass(frozen=True)
+class PrefixRange:
+    """A prefix-list entry: a base prefix plus allowed mask-length bounds.
+
+    ``PrefixRange(Prefix.parse("10.0.0.0/8"), 8, 24)`` matches every route
+    whose prefix falls under 10.0.0.0/8 with length between 8 and 24 — the
+    semantics of ``ip prefix-list ... ge/le``.
+    """
+
+    prefix: Prefix
+    min_length: int
+    max_length: int
+
+    def __post_init__(self) -> None:
+        if not self.prefix.length <= self.min_length <= self.max_length <= _MAX_LEN:
+            raise ValueError(
+                f"invalid length bounds {self.min_length}..{self.max_length} "
+                f"for {self.prefix}"
+            )
+
+    @classmethod
+    def exact(cls, prefix: Prefix) -> "PrefixRange":
+        return cls(prefix, prefix.length, prefix.length)
+
+    @classmethod
+    def parse(cls, text: str) -> "PrefixRange":
+        """Parse ``"10.0.0.0/8"``, ``"10.0.0.0/8 le 24"``, ``"... ge 9 le 24"``."""
+        tokens = text.split()
+        if not tokens:
+            raise ValueError("empty prefix range")
+        prefix = Prefix.parse(tokens[0])
+        min_len = prefix.length
+        max_len = prefix.length
+        rest = tokens[1:]
+        while rest:
+            if len(rest) < 2 or rest[0] not in ("ge", "le"):
+                raise ValueError(f"invalid prefix range {text!r}")
+            value = int(rest[1])
+            if rest[0] == "ge":
+                min_len = value
+                if max_len < min_len:
+                    max_len = _MAX_LEN
+            else:
+                max_len = value
+            rest = rest[2:]
+        return cls(prefix, min_len, max_len)
+
+    def matches(self, prefix: Prefix) -> bool:
+        return (
+            self.min_length <= prefix.length <= self.max_length
+            and self.prefix.contains(prefix)
+        )
+
+    def __str__(self) -> str:
+        base = str(self.prefix)
+        length = self.prefix.length
+        if self.min_length == length and self.max_length == length:
+            return base
+        if self.min_length == length:
+            return f"{base} le {self.max_length}"
+        if self.max_length == _MAX_LEN:
+            return f"{base} ge {self.min_length}"
+        return f"{base} ge {self.min_length} le {self.max_length}"
+
+
+class _TrieNode:
+    __slots__ = ("children", "terminal")
+
+    def __init__(self) -> None:
+        self.children: list[_TrieNode | None] = [None, None]
+        self.terminal = False
+
+
+class PrefixTrie:
+    """A binary trie over prefixes supporting exact and covering queries."""
+
+    def __init__(self, prefixes: Iterable[Prefix] = ()) -> None:
+        self._root = _TrieNode()
+        self._count = 0
+        for p in prefixes:
+            self.add(p)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def add(self, prefix: Prefix) -> None:
+        node = self._root
+        for bit in _bits(prefix):
+            child = node.children[bit]
+            if child is None:
+                child = _TrieNode()
+                node.children[bit] = child
+            node = child
+        if not node.terminal:
+            node.terminal = True
+            self._count += 1
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        node = self._root
+        for bit in _bits(prefix):
+            child = node.children[bit]
+            if child is None:
+                return False
+            node = child
+        return node.terminal
+
+    def covering(self, prefix: Prefix) -> list[Prefix]:
+        """All stored prefixes that contain ``prefix`` (shortest first)."""
+        found: list[Prefix] = []
+        node = self._root
+        if node.terminal:
+            found.append(Prefix(0, 0))
+        addr = prefix.address
+        consumed = 0
+        for bit in _bits(prefix):
+            child = node.children[bit]
+            if child is None:
+                return found
+            node = child
+            consumed += 1
+            if node.terminal:
+                found.append(Prefix(addr & _mask_for(consumed), consumed))
+        return found
+
+    def covers(self, prefix: Prefix) -> bool:
+        """True if some stored prefix contains ``prefix``."""
+        node = self._root
+        if node.terminal:
+            return True
+        for bit in _bits(prefix):
+            child = node.children[bit]
+            if child is None:
+                return False
+            node = child
+            if node.terminal:
+                return True
+        return False
+
+    def __iter__(self) -> Iterator[Prefix]:
+        def walk(node: _TrieNode, addr: int, depth: int) -> Iterator[Prefix]:
+            if node.terminal:
+                yield Prefix(addr, depth)
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    next_addr = addr | (bit << (31 - depth))
+                    yield from walk(child, next_addr, depth + 1)
+
+        yield from walk(self._root, 0, 0)
+
+
+def _bits(prefix: Prefix) -> Iterator[int]:
+    for i in range(prefix.length):
+        yield (prefix.address >> (31 - i)) & 1

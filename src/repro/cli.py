@@ -1,0 +1,165 @@
+"""The ``lightyear`` command-line interface.
+
+Subcommands:
+
+* ``lightyear parse CONFIG``
+  Parse a configuration (text dialect or ``.json``) and print a topology
+  summary; ``--dump-json`` re-emits the normalised JSON form.
+
+* ``lightyear verify CONFIG SPEC``
+  Run every safety and liveness problem in a JSON spec file (see
+  :mod:`repro.lang.specjson`) against the configuration.  Exits non-zero
+  if any property fails, printing localised counterexamples.
+
+* ``lightyear diff OLD NEW``
+  Structurally compare two configurations and report which routers
+  changed — the input to incremental re-verification.
+
+Example::
+
+    lightyear verify network.cfg properties.json --parallel 4 --verbose
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bgp.configjson import config_from_json, config_to_json
+from repro.bgp.configparse import parse_config
+from repro.core.engine import Lightyear
+from repro.core.report import format_liveness_report, format_safety_report
+from repro.lang.specjson import spec_from_json
+
+
+def _load_config(path: str):
+    """Load a configuration: JSON file, dialect file, or a directory.
+
+    A directory is treated the way production repositories are laid out —
+    one dialect file per device (plus shared route-map files); the pieces
+    are concatenated (sorted by name) and parsed as one network.
+    """
+    target = Path(path)
+    if target.is_dir():
+        pieces = sorted(
+            p for p in target.iterdir() if p.suffix in (".cfg", ".txt", ".conf")
+        )
+        if not pieces:
+            raise ValueError(f"{path}: no .cfg/.txt/.conf files in directory")
+        return parse_config("\n".join(p.read_text() for p in pieces))
+    text = target.read_text()
+    if target.suffix == ".json":
+        return config_from_json(text)
+    return parse_config(text)
+
+
+def _cmd_parse(args: argparse.Namespace) -> int:
+    config = _load_config(args.config)
+    problems = config.validate()
+    topo = config.topology
+    print(
+        f"{args.config}: {len(topo.routers)} routers, "
+        f"{len(topo.externals)} external neighbors, {len(topo.edges)} directed edges"
+    )
+    for name in sorted(topo.routers):
+        rc = config.routers[name]
+        print(f"  router {name} (AS {rc.asn}): {len(rc.neighbors)} sessions")
+    if problems:
+        print("problems:")
+        for p in problems:
+            print(f"  ! {p}")
+        return 1
+    if args.dump_json:
+        print(config_to_json(config))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    config = _load_config(args.config)
+    spec = spec_from_json(Path(args.spec).read_text())
+    ghosts = spec.build_ghosts(config.topology)
+    engine = Lightyear(config, ghosts=ghosts, parallel=args.parallel)
+
+    all_passed = True
+    for sspec in spec.safety:
+        invariants = sspec.build_invariants(config.topology)
+        report = engine.verify_safety(
+            sspec.property, invariants, conflict_budget=args.budget
+        )
+        print(format_safety_report(report, verbose=args.verbose))
+        print()
+        all_passed &= report.passed
+
+    for prop in spec.liveness:
+        report = engine.verify_liveness(prop, conflict_budget=args.budget)
+        print(format_liveness_report(report, verbose=args.verbose))
+        print()
+        all_passed &= report.passed
+
+    print(
+        f"totals: {engine.stats.num_checks} local checks, "
+        f"largest {engine.stats.max_vars} vars / {engine.stats.max_clauses} "
+        f"constraints, {engine.stats.wall_time_s:.2f}s "
+        f"({engine.stats.solve_time_s:.2f}s solving)"
+    )
+    return 0 if all_passed else 1
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.bgp.configdiff import diff_configs
+
+    old = _load_config(args.old)
+    new = _load_config(args.new)
+    diff = diff_configs(old, new)
+    print(diff.summary())
+    for router in diff.changed_routers:
+        for change in diff.details[router]:
+            print(f"  {router}: {change}")
+    return 0 if diff.is_empty else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lightyear",
+        description="Modular BGP control-plane verification (SIGCOMM 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_parse = sub.add_parser("parse", help="parse and validate a configuration")
+    p_parse.add_argument("config", help="configuration file (.txt dialect or .json)")
+    p_parse.add_argument(
+        "--dump-json", action="store_true", help="print the normalised JSON form"
+    )
+    p_parse.set_defaults(func=_cmd_parse)
+
+    p_verify = sub.add_parser("verify", help="verify properties from a spec file")
+    p_verify.add_argument("config", help="configuration file (.txt dialect or .json)")
+    p_verify.add_argument("spec", help="JSON verification spec")
+    p_verify.add_argument(
+        "--parallel", type=int, default=None, help="thread-pool width for checks"
+    )
+    p_verify.add_argument(
+        "--budget", type=int, default=None, help="per-check SAT conflict budget"
+    )
+    p_verify.add_argument("--verbose", action="store_true")
+    p_verify.set_defaults(func=_cmd_verify)
+
+    p_diff = sub.add_parser("diff", help="compare two configurations")
+    p_diff.add_argument("old")
+    p_diff.add_argument("new")
+    p_diff.set_defaults(func=_cmd_diff)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

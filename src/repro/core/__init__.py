@@ -1,0 +1,63 @@
+"""Lightyear's core: modular control-plane verification.
+
+The public entry point is :class:`Lightyear` (from :mod:`repro.core.engine`),
+which takes a :class:`repro.bgp.config.NetworkConfig`, an end-to-end
+property, and the user's local constraints, generates the paper's local
+checks, and discharges each with the SMT substrate.
+
+    from repro.core import Lightyear, SafetyProperty, InvariantMap
+
+    ly = Lightyear(config, ghosts=[from_isp1])
+    report = ly.verify_safety(prop, invariants)
+    assert report.passed
+"""
+
+from repro.core.properties import (
+    InvariantMap,
+    LivenessProperty,
+    Location,
+    SafetyProperty,
+)
+from repro.core.checks import CheckKind, CheckOutcome, LocalCheck
+from repro.core.counterexample import CheckFailure
+from repro.core.safety import SafetyReport, verify_safety
+from repro.core.liveness import LivenessReport, verify_liveness
+from repro.core.engine import Lightyear, EngineStats
+from repro.core.incremental import IncrementalVerifier, IncrementalResult
+from repro.core.inference import InferenceResult, infer_safety_invariants
+from repro.core.scenario import ImpactAssessment, assess_impact
+from repro.core.templates import (
+    TemplateProblem,
+    attribute_bound,
+    bogon_filtering,
+    isolation,
+    no_transit,
+)
+
+__all__ = [
+    "InvariantMap",
+    "LivenessProperty",
+    "Location",
+    "SafetyProperty",
+    "CheckKind",
+    "CheckOutcome",
+    "LocalCheck",
+    "CheckFailure",
+    "SafetyReport",
+    "verify_safety",
+    "LivenessReport",
+    "verify_liveness",
+    "Lightyear",
+    "EngineStats",
+    "IncrementalVerifier",
+    "IncrementalResult",
+    "InferenceResult",
+    "infer_safety_invariants",
+    "ImpactAssessment",
+    "assess_impact",
+    "TemplateProblem",
+    "attribute_bound",
+    "bogon_filtering",
+    "isolation",
+    "no_transit",
+]

@@ -1,0 +1,261 @@
+"""Local check generation and execution (§4.2, §5.2).
+
+Each :class:`LocalCheck` is one SMT query about a single filter on a single
+edge — the unit of Lightyear's scalability claim.  Checks carry enough
+metadata to localise a failure to the exact router, direction, and route
+map, and to render the violated implication.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro import smt
+from repro.bgp.config import NetworkConfig
+from repro.bgp.route import Route
+from repro.bgp.topology import Edge
+from repro.core.counterexample import CheckFailure
+from repro.core.properties import Location
+from repro.lang.ghost import GhostAttribute
+from repro.lang.predicates import Predicate
+from repro.lang.symroute import SymbolicRoute
+from repro.lang.transfer import symbolic_originated, transfer_export, transfer_import
+from repro.lang.universe import AttributeUniverse
+from repro.smt.solver import SolverStats
+
+
+class CheckKind(enum.Enum):
+    """What a local check establishes."""
+
+    IMPORT = "import"  # edge invariant => node invariant, through Import
+    EXPORT = "export"  # node invariant => edge invariant, through Export
+    ORIGINATE = "originate"  # originated routes satisfy the edge invariant
+    IMPLICATION = "implication"  # I_l subset-of P
+    PROPAGATE_EXPORT = "propagate-export"  # C_i survives Export and is accepted
+    PROPAGATE_IMPORT = "propagate-import"  # C_i survives Import and is accepted
+
+
+@dataclass(frozen=True)
+class LocalCheck:
+    """A single generated check, ready to run."""
+
+    kind: CheckKind
+    edge: Edge | None
+    assumption: Predicate
+    goal: Predicate
+    description: str
+    route_map_name: str | None = None
+    location: Location | None = None
+
+    def run(
+        self,
+        config: NetworkConfig,
+        universe: AttributeUniverse,
+        ghosts: tuple[GhostAttribute, ...] = (),
+        conflict_budget: int | None = None,
+    ) -> "CheckOutcome":
+        """Discharge the check with the SMT solver."""
+        if self.kind in (CheckKind.IMPORT, CheckKind.PROPAGATE_IMPORT):
+            return self._run_filter(
+                config, universe, ghosts, transfer_import, conflict_budget
+            )
+        if self.kind in (CheckKind.EXPORT, CheckKind.PROPAGATE_EXPORT):
+            return self._run_filter(
+                config, universe, ghosts, transfer_export, conflict_budget
+            )
+        if self.kind is CheckKind.ORIGINATE:
+            return self._run_originate(config, universe, ghosts, conflict_budget)
+        if self.kind is CheckKind.IMPLICATION:
+            return self._run_implication(universe, conflict_budget)
+        raise AssertionError(f"unhandled check kind {self.kind}")
+
+    # ------------------------------------------------------------------
+
+    def _run_filter(
+        self,
+        config: NetworkConfig,
+        universe: AttributeUniverse,
+        ghosts: tuple[GhostAttribute, ...],
+        transfer,
+        conflict_budget: int | None,
+    ) -> "CheckOutcome":
+        assert self.edge is not None
+        route_in = SymbolicRoute.fresh("r", universe)
+        accepted, route_out = transfer(config, self.edge, route_in, ghosts)
+
+        solver = smt.Solver()
+        solver.add(route_in.well_formed())
+        solver.add(self.assumption.to_term(route_in))
+        if self.kind in (CheckKind.PROPAGATE_IMPORT, CheckKind.PROPAGATE_EXPORT):
+            # Propagation checks must prove acceptance: refute
+            #   assumption(r) and (rejected or not goal(r')).
+            solver.add(smt.or_(smt.not_(accepted), smt.not_(self.goal.to_term(route_out))))
+        else:
+            # Safety checks only constrain accepted routes: refute
+            #   assumption(r) and accepted and not goal(r').
+            solver.add(accepted)
+            solver.add(smt.not_(self.goal.to_term(route_out)))
+        result = solver.check(conflict_budget=conflict_budget)
+
+        if result is smt.Result.UNSAT:
+            return CheckOutcome(check=self, passed=True, stats=solver.stats)
+        if result is smt.Result.UNKNOWN:
+            return CheckOutcome(check=self, passed=False, stats=solver.stats, unknown=True)
+        model = solver.model()
+        input_route = route_in.evaluate(model)
+        rejected = not model.eval_bool(accepted)
+        output_route = None if rejected else route_out.evaluate(model)
+        failure = CheckFailure(
+            check=self,
+            input_route=input_route,
+            output_route=output_route,
+            rejected=rejected,
+        )
+        return CheckOutcome(check=self, passed=False, stats=solver.stats, failure=failure)
+
+    def _run_originate(
+        self,
+        config: NetworkConfig,
+        universe: AttributeUniverse,
+        ghosts: tuple[GhostAttribute, ...],
+        conflict_budget: int | None,
+    ) -> "CheckOutcome":
+        assert self.edge is not None
+        combined = SolverStats()
+        for sym in symbolic_originated(config, self.edge, universe, ghosts):
+            solver = smt.Solver()
+            solver.add(smt.not_(self.goal.to_term(sym)))
+            result = solver.check(conflict_budget=conflict_budget)
+            combined = _merge_stats(combined, solver.stats)
+            if result is smt.Result.UNKNOWN:
+                return CheckOutcome(check=self, passed=False, stats=combined, unknown=True)
+            if result is smt.Result.SAT:
+                failure = CheckFailure(
+                    check=self,
+                    input_route=sym.evaluate(solver.model()),
+                    output_route=None,
+                    rejected=False,
+                )
+                return CheckOutcome(
+                    check=self, passed=False, stats=combined, failure=failure
+                )
+        return CheckOutcome(check=self, passed=True, stats=combined)
+
+    def _run_implication(
+        self, universe: AttributeUniverse, conflict_budget: int | None
+    ) -> "CheckOutcome":
+        route = SymbolicRoute.fresh("r", universe)
+        solver = smt.Solver()
+        solver.add(route.well_formed())
+        solver.add(self.assumption.to_term(route))
+        solver.add(smt.not_(self.goal.to_term(route)))
+        result = solver.check(conflict_budget=conflict_budget)
+        if result is smt.Result.UNSAT:
+            return CheckOutcome(check=self, passed=True, stats=solver.stats)
+        if result is smt.Result.UNKNOWN:
+            return CheckOutcome(check=self, passed=False, stats=solver.stats, unknown=True)
+        failure = CheckFailure(
+            check=self,
+            input_route=route.evaluate(solver.model()),
+            output_route=None,
+            rejected=False,
+        )
+        return CheckOutcome(check=self, passed=False, stats=solver.stats, failure=failure)
+
+    def __str__(self) -> str:
+        return self.description
+
+
+@dataclass
+class CheckOutcome:
+    """The result of running one local check."""
+
+    check: LocalCheck
+    passed: bool
+    stats: SolverStats
+    failure: CheckFailure | None = None
+    unknown: bool = False
+
+
+def _merge_stats(a: SolverStats, b: SolverStats) -> SolverStats:
+    merged = SolverStats(
+        num_vars=max(a.num_vars, b.num_vars),
+        num_clauses=max(a.num_clauses, b.num_clauses),
+        build_time_s=a.build_time_s + b.build_time_s,
+        solve_time_s=a.solve_time_s + b.solve_time_s,
+    )
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Check generation (§4.2)
+# ---------------------------------------------------------------------------
+
+
+def generate_safety_checks(
+    config: NetworkConfig,
+    invariants,
+    property_location: Location,
+    property_predicate: Predicate,
+) -> list[LocalCheck]:
+    """The Import/Export/Originate checks for every edge, plus ``I_l ⊆ P``."""
+    checks: list[LocalCheck] = []
+    topo = config.topology
+    for edge in sorted(topo.edges):
+        if topo.is_router(edge.dst):
+            route_map = config.import_map(edge)
+            checks.append(
+                LocalCheck(
+                    kind=CheckKind.IMPORT,
+                    edge=edge,
+                    assumption=invariants.get(edge),
+                    goal=invariants.get(edge.dst),
+                    route_map_name=None if route_map is None else route_map.name,
+                    description=(
+                        f"import check at {edge.dst} on {edge}: "
+                        f"I[{edge}] routes surviving import satisfy I[{edge.dst}]"
+                    ),
+                )
+            )
+        if topo.is_router(edge.src):
+            route_map = config.export_map(edge)
+            checks.append(
+                LocalCheck(
+                    kind=CheckKind.EXPORT,
+                    edge=edge,
+                    assumption=invariants.get(edge.src),
+                    goal=invariants.get(edge),
+                    route_map_name=None if route_map is None else route_map.name,
+                    description=(
+                        f"export check at {edge.src} on {edge}: "
+                        f"I[{edge.src}] routes surviving export satisfy I[{edge}]"
+                    ),
+                )
+            )
+            if config.originate(edge):
+                checks.append(
+                    LocalCheck(
+                        kind=CheckKind.ORIGINATE,
+                        edge=edge,
+                        assumption=invariants.get(edge),  # unused
+                        goal=invariants.get(edge),
+                        description=(
+                            f"originate check on {edge}: originated routes satisfy I[{edge}]"
+                        ),
+                    )
+                )
+    checks.append(
+        LocalCheck(
+            kind=CheckKind.IMPLICATION,
+            edge=None,
+            location=property_location,
+            assumption=invariants.get(property_location),
+            goal=property_predicate,
+            description=(
+                f"implication check at {property_location}: "
+                f"I[{property_location}] implies the property"
+            ),
+        )
+    )
+    return checks

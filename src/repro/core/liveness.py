@@ -1,0 +1,233 @@
+"""Liveness verification (§5): propagation + no-interference checks.
+
+A liveness property needs three ingredients beyond safety:
+
+1. **Propagation checks** along the user's witness path: each filter must
+   *accept* "good" routes and keep them good (``C_i`` to ``C_{i+1}``).
+2. **No-interference checks** at every router on the path: any route that
+   could compete for the same prefixes must itself be good.  Each is a
+   safety property proven with the §4 machinery and its own invariants.
+3. The final implication ``C_n ⊆ P``.
+
+If everything passes, then — provided the neighbor actually announces a
+``C_1`` route and no link *on the path* fails — a ``P`` route reaches the
+target location (§5.3 theorem).  Failures elsewhere are tolerated.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.bgp.config import NetworkConfig
+from repro.bgp.topology import Edge
+from repro.core.checks import CheckKind, CheckOutcome, LocalCheck
+from repro.core.counterexample import CheckFailure
+from repro.core.properties import InvariantMap, LivenessProperty, SafetyProperty
+from repro.core.safety import SafetyReport, build_universe, run_checks, verify_safety
+from repro.lang.ghost import GhostAttribute
+from repro.lang.predicates import Implies, Predicate, PrefixIn, TruePred, prefix_projection
+from repro.lang.universe import AttributeUniverse
+
+
+@dataclass
+class LivenessReport:
+    """Outcome of liveness verification."""
+
+    property: LivenessProperty
+    propagation_outcomes: list[CheckOutcome]
+    implication_outcome: CheckOutcome
+    interference_reports: dict[str, SafetyReport]
+    wall_time_s: float
+
+    @property
+    def passed(self) -> bool:
+        return (
+            all(o.passed for o in self.propagation_outcomes)
+            and self.implication_outcome.passed
+            and all(r.passed for r in self.interference_reports.values())
+        )
+
+    @property
+    def failures(self) -> list[CheckFailure]:
+        found = [o.failure for o in self.propagation_outcomes if o.failure is not None]
+        if self.implication_outcome.failure is not None:
+            found.append(self.implication_outcome.failure)
+        for report in self.interference_reports.values():
+            found.extend(report.failures)
+        return found
+
+    @property
+    def num_checks(self) -> int:
+        return (
+            len(self.propagation_outcomes)
+            + 1
+            + sum(r.num_checks for r in self.interference_reports.values())
+        )
+
+    @property
+    def max_vars(self) -> int:
+        candidates = [o.stats.num_vars for o in self.propagation_outcomes]
+        candidates.append(self.implication_outcome.stats.num_vars)
+        candidates.extend(r.max_vars for r in self.interference_reports.values())
+        return max(candidates, default=0)
+
+    @property
+    def max_clauses(self) -> int:
+        candidates = [o.stats.num_clauses for o in self.propagation_outcomes]
+        candidates.append(self.implication_outcome.stats.num_clauses)
+        candidates.extend(r.max_clauses for r in self.interference_reports.values())
+        return max(candidates, default=0)
+
+    @property
+    def solve_time_s(self) -> float:
+        total = sum(o.stats.solve_time_s for o in self.propagation_outcomes)
+        total += self.implication_outcome.stats.solve_time_s
+        total += sum(r.solve_time_s for r in self.interference_reports.values())
+        return total
+
+    def summary(self) -> str:
+        status = "PASSED" if self.passed else f"FAILED ({len(self.failures)} checks)"
+        return (
+            f"{self.property}: {status} — {self.num_checks} local checks "
+            f"({len(self.propagation_outcomes)} propagation, "
+            f"{len(self.interference_reports)} no-interference sub-proofs), "
+            f"{self.wall_time_s:.2f}s total"
+        )
+
+
+def generate_propagation_checks(
+    config: NetworkConfig, prop: LivenessProperty
+) -> list[LocalCheck]:
+    """The §5.2 checks that ``C_i`` routes survive each filter on the path."""
+    checks: list[LocalCheck] = []
+    for i in range(len(prop.path) - 1):
+        here = prop.path[i]
+        c_here = prop.constraints[i]
+        c_next = prop.constraints[i + 1]
+        if isinstance(here, str):
+            # Router followed by its out-edge: the export filter.
+            edge = prop.path[i + 1]
+            assert isinstance(edge, Edge)
+            route_map = config.export_map(edge)
+            checks.append(
+                LocalCheck(
+                    kind=CheckKind.PROPAGATE_EXPORT,
+                    edge=edge,
+                    assumption=c_here,
+                    goal=c_next,
+                    route_map_name=None if route_map is None else route_map.name,
+                    description=(
+                        f"propagation (export) at {here} on {edge}: "
+                        f"good routes are exported and stay good"
+                    ),
+                )
+            )
+        else:
+            # Edge followed by its destination router: the import filter.
+            assert isinstance(here, Edge)
+            if not config.topology.is_router(here.dst):
+                continue  # the path ends into an external neighbor
+            route_map = config.import_map(here)
+            checks.append(
+                LocalCheck(
+                    kind=CheckKind.PROPAGATE_IMPORT,
+                    edge=here,
+                    assumption=c_here,
+                    goal=c_next,
+                    route_map_name=None if route_map is None else route_map.name,
+                    description=(
+                        f"propagation (import) at {here.dst} on {here}: "
+                        f"good routes are accepted and stay good"
+                    ),
+                )
+            )
+    return checks
+
+
+def interference_properties(prop: LivenessProperty) -> dict[str, SafetyProperty]:
+    """The §5.2 no-interference safety properties, one per path router."""
+    properties: dict[str, SafetyProperty] = {}
+    for location, constraint in zip(prop.path, prop.constraints):
+        if not isinstance(location, str):
+            continue
+        ranges = prefix_projection(constraint)
+        antecedent: Predicate
+        if ranges is None:
+            antecedent = TruePred()
+        else:
+            antecedent = PrefixIn(ranges)
+        properties[location] = SafetyProperty(
+            location=location,
+            predicate=Implies(antecedent, constraint),
+            name=f"no-interference at {location}",
+        )
+    return properties
+
+
+def verify_liveness(
+    config: NetworkConfig,
+    prop: LivenessProperty,
+    interference_invariants: dict[str, InvariantMap] | None = None,
+    ghosts: tuple[GhostAttribute, ...] = (),
+    parallel: int | None = None,
+    conflict_budget: int | None = None,
+) -> LivenessReport:
+    """Verify a liveness property (the §5 pipeline).
+
+    ``interference_invariants`` optionally maps each path router to the
+    invariant map proving its no-interference property.  When omitted, the
+    default inductive shape is used: the no-interference predicate itself at
+    every internal location (with external edges pinned to True) — the
+    three-part structure §2.1 describes.
+    """
+    start = time.perf_counter()
+    prop.validate_against(config.topology)
+
+    universe = build_universe(
+        config,
+        None,
+        [prop.predicate, *prop.constraints],
+        ghosts,
+    )
+
+    propagation = generate_propagation_checks(config, prop)
+    propagation_outcomes = run_checks(
+        propagation, config, universe, ghosts, parallel=parallel,
+        conflict_budget=conflict_budget,
+    )
+
+    implication = LocalCheck(
+        kind=CheckKind.IMPLICATION,
+        edge=None,
+        location=prop.location,
+        assumption=prop.constraints[-1],
+        goal=prop.predicate,
+        description=(
+            f"implication check at {prop.location}: C_n implies the property"
+        ),
+    )
+    implication_outcome = implication.run(config, universe, ghosts, conflict_budget)
+
+    interference_reports: dict[str, SafetyReport] = {}
+    for router, safety_prop in interference_properties(prop).items():
+        if interference_invariants and router in interference_invariants:
+            inv = interference_invariants[router]
+        else:
+            inv = InvariantMap(config.topology, default=safety_prop.predicate)
+        interference_reports[router] = verify_safety(
+            config,
+            safety_prop,
+            inv,
+            ghosts=ghosts,
+            parallel=parallel,
+            conflict_budget=conflict_budget,
+        )
+
+    return LivenessReport(
+        property=prop,
+        propagation_outcomes=propagation_outcomes,
+        implication_outcome=implication_outcome,
+        interference_reports=interference_reports,
+        wall_time_s=time.perf_counter() - start,
+    )

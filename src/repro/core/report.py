@@ -1,0 +1,47 @@
+"""Plain-text rendering of verification reports (CLI and example output)."""
+
+from __future__ import annotations
+
+from repro.core.liveness import LivenessReport
+from repro.core.safety import SafetyReport
+
+
+def format_safety_report(report: SafetyReport, verbose: bool = False) -> str:
+    """Render a safety report: summary, then any failures, then detail."""
+    lines = [report.summary()]
+    for failure in report.failures:
+        lines.append("")
+        lines.append(failure.explain())
+    for outcome in report.unknowns:
+        lines.append(f"UNKNOWN (budget exhausted): {outcome.check.description}")
+    if verbose:
+        lines.append("")
+        lines.append("check breakdown:")
+        for outcome in report.outcomes:
+            mark = "ok  " if outcome.passed else "FAIL"
+            lines.append(
+                f"  [{mark}] {outcome.check.description} "
+                f"({outcome.stats.num_vars}v/{outcome.stats.num_clauses}c, "
+                f"{outcome.stats.total_time_s * 1000:.1f}ms)"
+            )
+    return "\n".join(lines)
+
+
+def format_liveness_report(report: LivenessReport, verbose: bool = False) -> str:
+    lines = [report.summary()]
+    for outcome in report.propagation_outcomes:
+        if not outcome.passed and outcome.failure is not None:
+            lines.append("")
+            lines.append(outcome.failure.explain())
+    if not report.implication_outcome.passed and report.implication_outcome.failure:
+        lines.append("")
+        lines.append(report.implication_outcome.failure.explain())
+    for router, sub in sorted(report.interference_reports.items()):
+        if not sub.passed:
+            lines.append("")
+            lines.append(f"no-interference sub-proof at {router} FAILED:")
+            for failure in sub.failures:
+                lines.append("  " + failure.explain().replace("\n", "\n  "))
+        elif verbose:
+            lines.append(f"no-interference at {router}: ok ({sub.num_checks} checks)")
+    return "\n".join(lines)

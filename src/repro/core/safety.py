@@ -1,0 +1,211 @@
+"""Safety verification (§4): run the generated local checks.
+
+``verify_safety`` implements the paper's safety pipeline: build the
+attribute universe, generate one Import/Export/Originate check per edge
+plus the final ``I_l ⊆ P`` implication, discharge each independently, and
+aggregate results.  By the §4.3 theorem, if every check passes the property
+holds on all valid traces — for arbitrary external announcements and
+arbitrary node/link failures.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.bgp.config import NetworkConfig
+from repro.core.checks import (
+    CheckKind,
+    CheckOutcome,
+    LocalCheck,
+    generate_safety_checks,
+)
+from repro.core.counterexample import CheckFailure
+from repro.core.properties import InvariantMap, SafetyProperty
+from repro.lang.ghost import GhostAttribute
+from repro.lang.predicates import predicate_atoms
+from repro.lang.universe import AttributeUniverse
+
+
+@dataclass
+class SafetyReport:
+    """Everything ``verify_safety`` learned."""
+
+    property: SafetyProperty
+    outcomes: list[CheckOutcome]
+    wall_time_s: float
+
+    @property
+    def passed(self) -> bool:
+        return all(o.passed for o in self.outcomes)
+
+    @property
+    def failures(self) -> list[CheckFailure]:
+        return [o.failure for o in self.outcomes if o.failure is not None]
+
+    @property
+    def unknowns(self) -> list[CheckOutcome]:
+        return [o for o in self.outcomes if o.unknown]
+
+    @property
+    def num_checks(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def max_vars(self) -> int:
+        """Largest SMT variable count in any single local check (Fig. 3b)."""
+        return max((o.stats.num_vars for o in self.outcomes), default=0)
+
+    @property
+    def max_clauses(self) -> int:
+        """Largest SMT constraint count in any single local check (Fig. 3b)."""
+        return max((o.stats.num_clauses for o in self.outcomes), default=0)
+
+    @property
+    def solve_time_s(self) -> float:
+        """Pure constraint-solving time across all checks (Fig. 3d)."""
+        return sum(o.stats.solve_time_s for o in self.outcomes)
+
+    @property
+    def build_time_s(self) -> float:
+        return sum(o.stats.build_time_s for o in self.outcomes)
+
+    def summary(self) -> str:
+        status = "PASSED" if self.passed else f"FAILED ({len(self.failures)} checks)"
+        return (
+            f"{self.property}: {status} — {self.num_checks} local checks, "
+            f"max {self.max_vars} vars / {self.max_clauses} constraints per check, "
+            f"{self.wall_time_s:.2f}s total ({self.solve_time_s:.2f}s solving)"
+        )
+
+
+def build_universe(
+    config: NetworkConfig,
+    invariants: InvariantMap | None,
+    predicates,
+    ghosts: tuple[GhostAttribute, ...],
+) -> AttributeUniverse:
+    """The universe covering config, invariants, properties, and ghosts."""
+    communities = set()
+    asns = set()
+    ghost_names = {g.name for g in ghosts}
+    preds = list(predicates)
+    if invariants is not None:
+        preds.append(invariants.default)
+        preds.extend(invariants.get(loc) for loc in invariants.overridden_locations())
+    for pred in preds:
+        c, a, g = predicate_atoms(pred)
+        communities |= c
+        asns |= a
+        ghost_names |= g
+    return AttributeUniverse.from_config(
+        config,
+        extra_communities=tuple(communities),
+        extra_asns=tuple(asns),
+        ghosts=tuple(ghost_names),
+    )
+
+
+def run_checks(
+    checks: list[LocalCheck],
+    config: NetworkConfig,
+    universe: AttributeUniverse,
+    ghosts: tuple[GhostAttribute, ...] = (),
+    parallel: int | None = None,
+    conflict_budget: int | None = None,
+) -> list[CheckOutcome]:
+    """Discharge a list of checks, optionally with a thread pool.
+
+    Checks are independent, so they parallelise trivially; with CPython's
+    GIL the thread pool mostly demonstrates the property rather than
+    yielding wall-clock speedup — the paper's deployment runs checks as
+    separate processes per device.
+    """
+    if parallel and parallel > 1:
+        with ThreadPoolExecutor(max_workers=parallel) as pool:
+            return list(
+                pool.map(
+                    lambda ch: ch.run(config, universe, ghosts, conflict_budget), checks
+                )
+            )
+    return [check.run(config, universe, ghosts, conflict_budget) for check in checks]
+
+
+def verify_safety(
+    config: NetworkConfig,
+    prop: SafetyProperty,
+    invariants: InvariantMap,
+    ghosts: tuple[GhostAttribute, ...] = (),
+    universe: AttributeUniverse | None = None,
+    parallel: int | None = None,
+    conflict_budget: int | None = None,
+) -> SafetyReport:
+    """Verify a safety property via local checks (the §4 pipeline)."""
+    start = time.perf_counter()
+    if universe is None:
+        universe = build_universe(config, invariants, [prop.predicate], ghosts)
+    checks = generate_safety_checks(config, invariants, prop.location, prop.predicate)
+    outcomes = run_checks(
+        checks, config, universe, ghosts, parallel=parallel, conflict_budget=conflict_budget
+    )
+    return SafetyReport(
+        property=prop,
+        outcomes=outcomes,
+        wall_time_s=time.perf_counter() - start,
+    )
+
+
+def verify_safety_family(
+    config: NetworkConfig,
+    props: list[SafetyProperty],
+    invariants: InvariantMap,
+    ghosts: tuple[GhostAttribute, ...] = (),
+    parallel: int | None = None,
+    conflict_budget: int | None = None,
+) -> SafetyReport:
+    """Verify a family of safety properties sharing one invariant map.
+
+    Properties like Table 4a hold "at any router R": the same predicate at
+    many locations.  The Import/Export/Originate checks depend only on the
+    invariants, so they run once; only the cheap ``I_l ⊆ P`` implication
+    check repeats per property.
+    """
+    if not props:
+        raise ValueError("empty property family")
+    start = time.perf_counter()
+    universe = build_universe(
+        config, invariants, [p.predicate for p in props], ghosts
+    )
+    checks = generate_safety_checks(
+        config, invariants, props[0].location, props[0].predicate
+    )
+    checks = [c for c in checks if c.kind is not CheckKind.IMPLICATION]
+    for prop in props:
+        checks.append(
+            LocalCheck(
+                kind=CheckKind.IMPLICATION,
+                edge=None,
+                location=prop.location,
+                assumption=invariants.get(prop.location),
+                goal=prop.predicate,
+                description=(
+                    f"implication check at {prop.location}: "
+                    f"I[{prop.location}] implies {prop.name or 'the property'}"
+                ),
+            )
+        )
+    outcomes = run_checks(
+        checks, config, universe, ghosts, parallel=parallel, conflict_budget=conflict_budget
+    )
+    family_name = props[0].name or "family"
+    summary_prop = SafetyProperty(
+        location=props[0].location,
+        predicate=props[0].predicate,
+        name=f"{family_name} (x{len(props)} locations)",
+    )
+    return SafetyReport(
+        property=summary_prop,
+        outcomes=outcomes,
+        wall_time_s=time.perf_counter() - start,
+    )

@@ -1,0 +1,159 @@
+"""Canned verification problems for the paper's common property classes.
+
+§1 and §2 list the safety properties networks typically want: filtering
+bogons, preventing transit between peers, isolation between node groups,
+and attribute constraints ("prefixes in a specific range always have a
+particular local preference").  Each template packages the property, the
+three-part invariant structure of §2.1, and the ghost definitions, so the
+common cases need a single call:
+
+    problem = no_transit(config, [Edge("ISP1", "R1")], Edge("R2", "ISP2"),
+                         Community(100, 1))
+    report = verify_safety_family(config, problem.properties,
+                                  problem.invariants, ghosts=problem.ghosts)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.bgp.config import NetworkConfig
+from repro.bgp.prefix import PrefixRange
+from repro.bgp.route import Community
+from repro.bgp.topology import Edge
+from repro.core.properties import InvariantMap, Location, SafetyProperty
+from repro.lang.ghost import GhostAttribute
+from repro.lang.predicates import (
+    GhostIs,
+    HasCommunity,
+    Implies,
+    Not,
+    Predicate,
+    PrefixIn,
+)
+
+
+@dataclass
+class TemplateProblem:
+    """A ready-to-verify problem: properties + invariants + ghosts."""
+
+    name: str
+    properties: list[SafetyProperty]
+    invariants: InvariantMap
+    ghosts: tuple[GhostAttribute, ...]
+
+
+def _fresh_ghost_name(config: NetworkConfig, base: str) -> str:
+    return base
+
+
+def no_transit(
+    config: NetworkConfig,
+    source_edges: Sequence[Edge],
+    egress_edge: Edge,
+    tracking_community: Community,
+    name: str = "no-transit",
+    ghost_name: str = "FromSource",
+) -> TemplateProblem:
+    """Routes entering via ``source_edges`` are never sent on ``egress_edge``.
+
+    Assumes the standard community scheme: the source imports tag routes
+    with ``tracking_community``, the egress export filters on it, and no
+    other filter strips it — exactly the checks this template generates.
+    """
+    ghost = GhostAttribute.source_tracker(ghost_name, config.topology, source_edges)
+    tracked = GhostIs(ghost_name)
+    key_invariant = Implies(tracked, HasCommunity(tracking_community))
+    prop = SafetyProperty(location=egress_edge, predicate=Not(tracked), name=name)
+    invariants = InvariantMap(config.topology, default=key_invariant)
+    invariants.set(egress_edge, Not(tracked))
+    return TemplateProblem(
+        name=name, properties=[prop], invariants=invariants, ghosts=(ghost,)
+    )
+
+
+def isolation(
+    config: NetworkConfig,
+    source_edges: Sequence[Edge],
+    protected: Iterable[Location],
+    tracking_community: Community,
+    name: str = "isolation",
+    ghost_name: str = "FromIsolated",
+) -> TemplateProblem:
+    """Routes entering via ``source_edges`` never reach any ``protected``
+    location (a group-isolation property, §1's "forms of isolation").
+
+    Uses the same tagging discipline as :func:`no_transit` but protects a
+    *set* of routers/edges: each gets the invariant ``not FromIsolated``
+    and its own property.
+    """
+    ghost = GhostAttribute.source_tracker(ghost_name, config.topology, source_edges)
+    tracked = GhostIs(ghost_name)
+    key_invariant = Implies(tracked, HasCommunity(tracking_community))
+    invariants = InvariantMap(config.topology, default=key_invariant)
+    properties = []
+    for location in protected:
+        invariants.set(location, Not(tracked))
+        properties.append(
+            SafetyProperty(location=location, predicate=Not(tracked), name=name)
+        )
+    if not properties:
+        raise ValueError("isolation template needs at least one protected location")
+    return TemplateProblem(
+        name=name, properties=properties, invariants=invariants, ghosts=(ghost,)
+    )
+
+
+def bogon_filtering(
+    config: NetworkConfig,
+    untrusted_edges: Sequence[Edge],
+    bogons: Sequence[PrefixRange],
+    name: str = "bogon-filtering",
+    ghost_name: str = "FromUntrusted",
+) -> TemplateProblem:
+    """Bogon prefixes from untrusted neighbors are never accepted anywhere.
+
+    The Table 4a shape: the same implication invariant at every internal
+    location, one property per router.
+    """
+    ghost = GhostAttribute.source_tracker(ghost_name, config.topology, untrusted_edges)
+    predicate = Implies(GhostIs(ghost_name), Not(PrefixIn(tuple(bogons))))
+    invariants = InvariantMap(config.topology, default=predicate)
+    properties = [
+        SafetyProperty(location=router, predicate=predicate, name=name)
+        for router in sorted(config.topology.routers)
+    ]
+    return TemplateProblem(
+        name=name, properties=properties, invariants=invariants, ghosts=(ghost,)
+    )
+
+
+def attribute_bound(
+    config: NetworkConfig,
+    prefixes: Sequence[PrefixRange],
+    bound: Predicate,
+    locations: Iterable[Location] | None = None,
+    name: str = "attribute-bound",
+) -> TemplateProblem:
+    """Routes for the given prefixes always satisfy an attribute bound.
+
+    §2.1's "complex constraints among BGP attributes, for example that
+    prefixes in a specific range always have a particular local preference
+    or MED value".  Uses a uniform invariant: the bound holds for those
+    prefixes at every internal location (so imports from externals must
+    establish it and internal filters must preserve it).
+    """
+    predicate = Implies(PrefixIn(tuple(prefixes)), bound)
+    invariants = InvariantMap(config.topology, default=predicate)
+    if locations is None:
+        locations = sorted(config.topology.routers)
+    properties = [
+        SafetyProperty(location=loc, predicate=predicate, name=name)
+        for loc in locations
+    ]
+    if not properties:
+        raise ValueError("attribute_bound template needs at least one location")
+    return TemplateProblem(
+        name=name, properties=properties, invariants=invariants, ghosts=()
+    )

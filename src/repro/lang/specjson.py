@@ -1,0 +1,286 @@
+"""JSON serialisation of verification specs: predicates, properties, ghosts.
+
+This is the on-disk format the CLI consumes, so verification problems can
+live next to the configurations they check::
+
+    {
+      "ghosts": [
+        {"name": "FromISP1", "kind": "source", "sources": ["ISP1->R1"]}
+      ],
+      "safety": [
+        {
+          "name": "no-transit",
+          "location": "R2->ISP2",
+          "predicate": {"kind": "not",
+                        "inner": {"kind": "ghost", "name": "FromISP1"}},
+          "invariants": {
+            "default": {"kind": "implies",
+                        "antecedent": {"kind": "ghost", "name": "FromISP1"},
+                        "consequent": {"kind": "community", "community": "100:1"}},
+            "overrides": {
+              "R2->ISP2": {"kind": "not",
+                           "inner": {"kind": "ghost", "name": "FromISP1"}}
+            }
+          }
+        }
+      ],
+      "liveness": [
+        {
+          "name": "customer-reaches-isp2",
+          "location": "R2->ISP2",
+          "predicate": {...},
+          "path": ["Customer->R3", "R3", "R3->R2", "R2", "R2->ISP2"],
+          "constraints": [{...}, {...}, {...}, {...}, {...}]
+        }
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bgp.prefix import PrefixRange
+from repro.bgp.route import Community
+from repro.bgp.topology import Edge, Topology
+from repro.core.properties import InvariantMap, LivenessProperty, Location, SafetyProperty
+from repro.lang.ghost import GhostAttribute
+from repro.bgp.prefix import Prefix
+from repro.lang.predicates import (
+    AllOf,
+    AnyOf,
+    AsPathHas,
+    AsPathLenIn,
+    FalsePred,
+    GhostIs,
+    HasCommunity,
+    Implies,
+    LocalPrefIn,
+    MedIn,
+    NextHopIn,
+    Not,
+    OriginIs,
+    Predicate,
+    PrefixIn,
+    TruePred,
+)
+
+
+# ---------------------------------------------------------------------------
+# Predicate codec
+# ---------------------------------------------------------------------------
+
+
+def predicate_to_json(pred: Predicate) -> dict[str, Any]:
+    if isinstance(pred, TruePred):
+        return {"kind": "true"}
+    if isinstance(pred, FalsePred):
+        return {"kind": "false"}
+    if isinstance(pred, HasCommunity):
+        return {"kind": "community", "community": str(pred.community)}
+    if isinstance(pred, PrefixIn):
+        return {"kind": "prefix-in", "ranges": [str(r) for r in pred.ranges]}
+    if isinstance(pred, GhostIs):
+        return {"kind": "ghost", "name": pred.name, "value": pred.value}
+    if isinstance(pred, AsPathHas):
+        return {"kind": "as-path-has", "asn": pred.asn}
+    if isinstance(pred, AsPathLenIn):
+        return {"kind": "as-path-len-in", "low": pred.low, "high": pred.high}
+    if isinstance(pred, OriginIs):
+        return {"kind": "origin-is", "origin": pred.origin}
+    if isinstance(pred, NextHopIn):
+        return {"kind": "next-hop-in", "prefixes": [str(p) for p in pred.prefixes]}
+    if isinstance(pred, LocalPrefIn):
+        return {"kind": "local-pref-in", "low": pred.low, "high": pred.high}
+    if isinstance(pred, MedIn):
+        return {"kind": "med-in", "low": pred.low, "high": pred.high}
+    if isinstance(pred, Not):
+        return {"kind": "not", "inner": predicate_to_json(pred.inner)}
+    if isinstance(pred, AllOf):
+        return {"kind": "all", "inners": [predicate_to_json(p) for p in pred.inners]}
+    if isinstance(pred, AnyOf):
+        return {"kind": "any", "inners": [predicate_to_json(p) for p in pred.inners]}
+    if isinstance(pred, Implies):
+        return {
+            "kind": "implies",
+            "antecedent": predicate_to_json(pred.antecedent),
+            "consequent": predicate_to_json(pred.consequent),
+        }
+    raise TypeError(f"cannot serialise predicate {pred!r}")
+
+
+def predicate_from_json(doc: dict[str, Any]) -> Predicate:
+    kind = doc["kind"]
+    if kind == "true":
+        return TruePred()
+    if kind == "false":
+        return FalsePred()
+    if kind == "community":
+        return HasCommunity(Community.parse(doc["community"]))
+    if kind == "prefix-in":
+        return PrefixIn(tuple(PrefixRange.parse(r) for r in doc["ranges"]))
+    if kind == "ghost":
+        return GhostIs(doc["name"], doc.get("value", True))
+    if kind == "as-path-has":
+        return AsPathHas(doc["asn"])
+    if kind == "as-path-len-in":
+        return AsPathLenIn(doc["low"], doc["high"])
+    if kind == "origin-is":
+        return OriginIs(doc["origin"])
+    if kind == "next-hop-in":
+        return NextHopIn(tuple(Prefix.parse(p) for p in doc["prefixes"]))
+    if kind == "local-pref-in":
+        return LocalPrefIn(doc["low"], doc["high"])
+    if kind == "med-in":
+        return MedIn(doc["low"], doc["high"])
+    if kind == "not":
+        return Not(predicate_from_json(doc["inner"]))
+    if kind == "all":
+        return AllOf(tuple(predicate_from_json(p) for p in doc["inners"]))
+    if kind == "any":
+        return AnyOf(tuple(predicate_from_json(p) for p in doc["inners"]))
+    if kind == "implies":
+        return Implies(
+            predicate_from_json(doc["antecedent"]),
+            predicate_from_json(doc["consequent"]),
+        )
+    raise ValueError(f"unknown predicate kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Locations
+# ---------------------------------------------------------------------------
+
+
+def location_from_str(text: str) -> Location:
+    """Parse ``"R2"`` (router) or ``"R2->ISP2"`` (edge)."""
+    if "->" in text:
+        src, __, dst = text.partition("->")
+        return Edge(src.strip(), dst.strip())
+    return text.strip()
+
+
+def location_to_str(location: Location) -> str:
+    return str(location)
+
+
+# ---------------------------------------------------------------------------
+# Spec documents
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SafetySpec:
+    property: SafetyProperty
+    invariants_default: Predicate
+    invariants_overrides: dict[Location, Predicate]
+
+    def build_invariants(self, topology: Topology) -> InvariantMap:
+        inv = InvariantMap(topology, default=self.invariants_default)
+        for location, pred in self.invariants_overrides.items():
+            inv.set(location, pred)
+        return inv
+
+
+@dataclass
+class VerificationSpec:
+    """A parsed spec file: ghosts plus safety and liveness problems."""
+
+    ghost_docs: list[dict[str, Any]] = field(default_factory=list)
+    safety: list[SafetySpec] = field(default_factory=list)
+    liveness: list[LivenessProperty] = field(default_factory=list)
+
+    def build_ghosts(self, topology: Topology) -> tuple[GhostAttribute, ...]:
+        ghosts = []
+        for doc in self.ghost_docs:
+            kind = doc.get("kind", "source")
+            if kind == "source":
+                edges = [location_from_str(e) for e in doc["sources"]]
+                for edge in edges:
+                    if not isinstance(edge, Edge):
+                        raise ValueError(f"ghost source {edge!r} must be an edge")
+                ghosts.append(
+                    GhostAttribute.source_tracker(doc["name"], topology, edges)
+                )
+            elif kind == "waypoint":
+                ghosts.append(
+                    GhostAttribute.waypoint(doc["name"], topology, doc["router"])
+                )
+            else:
+                raise ValueError(f"unknown ghost kind {kind!r}")
+        return tuple(ghosts)
+
+
+def spec_from_json(text: str) -> VerificationSpec:
+    doc = json.loads(text)
+    spec = VerificationSpec(ghost_docs=list(doc.get("ghosts", ())))
+
+    for sdoc in doc.get("safety", ()):
+        prop = SafetyProperty(
+            location=location_from_str(sdoc["location"]),
+            predicate=predicate_from_json(sdoc["predicate"]),
+            name=sdoc.get("name", ""),
+        )
+        inv_doc = sdoc.get("invariants", {})
+        default = (
+            predicate_from_json(inv_doc["default"])
+            if "default" in inv_doc
+            else TruePred()
+        )
+        overrides = {
+            location_from_str(loc): predicate_from_json(p)
+            for loc, p in inv_doc.get("overrides", {}).items()
+        }
+        spec.safety.append(
+            SafetySpec(
+                property=prop,
+                invariants_default=default,
+                invariants_overrides=overrides,
+            )
+        )
+
+    for ldoc in doc.get("liveness", ()):
+        spec.liveness.append(
+            LivenessProperty(
+                location=location_from_str(ldoc["location"]),
+                predicate=predicate_from_json(ldoc["predicate"]),
+                path=tuple(location_from_str(l) for l in ldoc["path"]),
+                constraints=tuple(
+                    predicate_from_json(c) for c in ldoc["constraints"]
+                ),
+                name=ldoc.get("name", ""),
+            )
+        )
+    return spec
+
+
+def spec_to_json(spec: VerificationSpec) -> str:
+    doc: dict[str, Any] = {"ghosts": spec.ghost_docs, "safety": [], "liveness": []}
+    for s in spec.safety:
+        doc["safety"].append(
+            {
+                "name": s.property.name,
+                "location": location_to_str(s.property.location),
+                "predicate": predicate_to_json(s.property.predicate),
+                "invariants": {
+                    "default": predicate_to_json(s.invariants_default),
+                    "overrides": {
+                        location_to_str(loc): predicate_to_json(p)
+                        for loc, p in s.invariants_overrides.items()
+                    },
+                },
+            }
+        )
+    for l in spec.liveness:
+        doc["liveness"].append(
+            {
+                "name": l.name,
+                "location": location_to_str(l.location),
+                "predicate": predicate_to_json(l.predicate),
+                "path": [location_to_str(x) for x in l.path],
+                "constraints": [predicate_to_json(c) for c in l.constraints],
+            }
+        )
+    return json.dumps(doc, indent=2)

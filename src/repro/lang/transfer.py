@@ -1,0 +1,234 @@
+"""Symbolic execution of route maps: the transfer functions of the checks.
+
+Every Lightyear local check constrains ``r' = Import(edge, r)`` or
+``r' = Export(edge, r)`` for a single edge (§4.2).  This module produces
+those relations symbolically: given a :class:`SymbolicRoute` ``r``, it
+returns a pair ``(accepted, r')`` where ``accepted`` is a boolean term
+("the filter did not reject") and ``r'`` is a symbolic route whose fields
+are ``ite`` terms mirroring the route map's first-match semantics.
+
+The lifted semantics matches :class:`repro.bgp.config.NetworkConfig`'s
+concrete functions exactly — including eBGP AS-path prepending on export —
+and additionally applies ghost-attribute updates (§4.4), which only exist
+at this level.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro import smt
+from repro.bgp.config import NetworkConfig
+from repro.bgp.policy import (
+    Action,
+    AddCommunity,
+    ClearCommunities,
+    DeleteCommunity,
+    Disposition,
+    Match,
+    MatchAll,
+    MatchAny,
+    MatchAsPathContains,
+    MatchAsPathLength,
+    MatchCommunity,
+    MatchLocalPrefRange,
+    MatchMedRange,
+    MatchNextHopIn,
+    MatchNot,
+    MatchOrigin,
+    MatchPrefix,
+    PrependAsPath,
+    RouteMap,
+    SetLocalPref,
+    SetMed,
+    SetNextHop,
+    SetOrigin,
+)
+from repro.bgp.topology import Edge
+from repro.lang.ghost import GhostAttribute
+from repro.lang.predicates import _range_term
+from repro.lang.symroute import (
+    MED_WIDTH,
+    PATHLEN_WIDTH,
+    PREF_WIDTH,
+    ADDR_WIDTH,
+    SymbolicRoute,
+)
+from repro.smt.terms import Term
+
+
+# ---------------------------------------------------------------------------
+# Match and action encoding
+# ---------------------------------------------------------------------------
+
+
+def match_term(match: Match, route: SymbolicRoute) -> Term:
+    """Encode ``match.matches(route)`` as a boolean term."""
+    if isinstance(match, MatchCommunity):
+        return route.community_term(match.community)
+    if isinstance(match, MatchPrefix):
+        return smt.or_(_range_term(r, route) for r in match.ranges)
+    if isinstance(match, MatchAsPathContains):
+        return route.as_path_member_term(match.asn)
+    if isinstance(match, MatchMedRange):
+        return smt.and_(
+            smt.bv_ule(smt.bv_const(match.low, MED_WIDTH), route.med),
+            smt.bv_ule(route.med, smt.bv_const(match.high, MED_WIDTH)),
+        )
+    if isinstance(match, MatchLocalPrefRange):
+        return smt.and_(
+            smt.bv_ule(smt.bv_const(match.low, PREF_WIDTH), route.local_pref),
+            smt.bv_ule(route.local_pref, smt.bv_const(match.high, PREF_WIDTH)),
+        )
+    if isinstance(match, MatchAsPathLength):
+        return smt.and_(
+            smt.bv_ule(smt.bv_const(match.low, PATHLEN_WIDTH), route.as_path_len),
+            smt.bv_ule(route.as_path_len, smt.bv_const(match.high, PATHLEN_WIDTH)),
+        )
+    if isinstance(match, MatchOrigin):
+        from repro.lang.symroute import ORIGIN_WIDTH
+
+        return smt.bv_eq(route.origin, smt.bv_const(match.origin, ORIGIN_WIDTH))
+    if isinstance(match, MatchNextHopIn):
+        return smt.or_(
+            smt.bv_eq(
+                smt.bv_and(route.next_hop, smt.bv_const(p.mask, ADDR_WIDTH)),
+                smt.bv_const(p.address, ADDR_WIDTH),
+            )
+            for p in match.prefixes
+        )
+    if isinstance(match, MatchNot):
+        return smt.not_(match_term(match.inner, route))
+    if isinstance(match, MatchAny):
+        return smt.or_(match_term(m, route) for m in match.inners)
+    if isinstance(match, MatchAll):
+        return smt.and_(match_term(m, route) for m in match.inners)
+    raise TypeError(f"cannot encode match {match!r}")
+
+
+def apply_action(action: Action, route: SymbolicRoute) -> SymbolicRoute:
+    """Apply one set-action symbolically."""
+    if isinstance(action, SetLocalPref):
+        return route.with_field(local_pref=smt.bv_const(action.value, PREF_WIDTH))
+    if isinstance(action, SetMed):
+        return route.with_field(med=smt.bv_const(action.value, MED_WIDTH))
+    if isinstance(action, SetNextHop):
+        return route.with_field(next_hop=smt.bv_const(action.value, ADDR_WIDTH))
+    if isinstance(action, AddCommunity):
+        return route.with_community(action.community, smt.true())
+    if isinstance(action, DeleteCommunity):
+        return route.with_community(action.community, smt.false())
+    if isinstance(action, ClearCommunities):
+        return route.with_all_communities(smt.false())
+    if isinstance(action, PrependAsPath):
+        updated = route.with_as_path_member(action.asn, smt.true())
+        return updated.with_field(
+            as_path_len=smt.bv_add(
+                route.as_path_len, smt.bv_const(action.count, PATHLEN_WIDTH)
+            )
+        )
+    if isinstance(action, SetOrigin):
+        from repro.lang.symroute import ORIGIN_WIDTH
+
+        return route.with_field(origin=smt.bv_const(action.origin, ORIGIN_WIDTH))
+    raise TypeError(f"cannot encode action {action!r}")
+
+
+# ---------------------------------------------------------------------------
+# Route-map transfer
+# ---------------------------------------------------------------------------
+
+
+def transfer_route_map(
+    route_map: RouteMap | None, route: SymbolicRoute
+) -> tuple[Term, SymbolicRoute]:
+    """Symbolically execute a route map on ``route``.
+
+    Returns ``(accepted, output)``.  ``route_map=None`` is the identity
+    permit (no filter configured on the session), matching the concrete
+    semantics.  When ``accepted`` is false the output fields are
+    unconstrained garbage and must not be used.
+    """
+    if route_map is None:
+        return smt.true(), route
+
+    accepted: Term = smt.false()  # implicit deny when nothing matches
+    output = route
+    for clause in reversed(route_map.clauses):
+        cond = smt.and_(match_term(m, route) for m in clause.matches)
+        if clause.disposition is Disposition.DENY:
+            accepted = smt.ite(cond, smt.false(), accepted)
+        else:
+            applied = route
+            for action in clause.actions:
+                applied = apply_action(action, applied)
+            accepted = smt.ite(cond, smt.true(), accepted)
+            output = applied.merge(cond, output)
+    return accepted, output
+
+
+# ---------------------------------------------------------------------------
+# Edge-level Import / Export / Originate
+# ---------------------------------------------------------------------------
+
+
+def _apply_ghost_updates(
+    route: SymbolicRoute,
+    edge: Edge,
+    ghosts: Sequence[GhostAttribute],
+    direction: str,
+) -> SymbolicRoute:
+    for ghost in ghosts:
+        update = (
+            ghost.import_update(edge) if direction == "import" else ghost.export_update(edge)
+        )
+        if update is not None:
+            route = route.with_ghost(ghost.name, smt.true() if update else smt.false())
+    return route
+
+
+def transfer_import(
+    config: NetworkConfig,
+    edge: Edge,
+    route: SymbolicRoute,
+    ghosts: Sequence[GhostAttribute] = (),
+) -> tuple[Term, SymbolicRoute]:
+    """``Import(edge, r)`` as (accepted, r'), with ghost updates applied."""
+    accepted, output = transfer_route_map(config.import_map(edge), route)
+    output = _apply_ghost_updates(output, edge, ghosts, "import")
+    return accepted, output
+
+
+def transfer_export(
+    config: NetworkConfig,
+    edge: Edge,
+    route: SymbolicRoute,
+    ghosts: Sequence[GhostAttribute] = (),
+) -> tuple[Term, SymbolicRoute]:
+    """``Export(edge, r)`` as (accepted, r'), with prepend and ghosts."""
+    accepted, output = transfer_route_map(config.export_map(edge), route)
+    if edge.src in config.routers and config.is_ebgp(edge):
+        own_asn = config.routers[edge.src].asn
+        output = output.with_as_path_member(own_asn, smt.true())
+        output = output.with_field(
+            as_path_len=smt.bv_add(output.as_path_len, smt.bv_const(1, PATHLEN_WIDTH))
+        )
+    output = _apply_ghost_updates(output, edge, ghosts, "export")
+    return accepted, output
+
+
+def symbolic_originated(
+    config: NetworkConfig,
+    edge: Edge,
+    universe,
+    ghosts: Sequence[GhostAttribute] = (),
+) -> list[SymbolicRoute]:
+    """``Originate(edge)`` embedded as constant symbolic routes."""
+    result = []
+    for route in config.originate(edge):
+        sym = SymbolicRoute.concrete(route, universe)
+        for ghost in ghosts:
+            value = smt.true() if ghost.originated_value else smt.false()
+            sym = sym.with_ghost(ghost.name, value)
+        result.append(sym)
+    return result

@@ -1,0 +1,116 @@
+"""Bit-blasting: lower bit-vector terms to pure boolean terms.
+
+Every ``BvVar`` becomes a tuple of fresh ``BoolVar`` bits (LSB first);
+bit-vector operations become per-bit boolean structure (ripple-carry for
+addition, a comparison chain for unsigned ordering).  The output contains
+only ``BoolVar``/``BoolConst``/``Not``/``And``/``Or``/``Ite`` nodes, ready
+for the Tseitin transform.
+"""
+
+from __future__ import annotations
+
+from repro.smt import terms as T
+from repro.smt.terms import Term
+
+
+class Bitblaster:
+    """Lower terms to booleans, remembering the bit names of each BvVar."""
+
+    def __init__(self) -> None:
+        self._bool_memo: dict[Term, Term] = {}
+        self._bv_memo: dict[Term, tuple[Term, ...]] = {}
+        self.bv_bits: dict[Term, tuple[Term, ...]] = {}
+
+    def blast_bool(self, term: Term) -> Term:
+        """Lower a boolean-sorted term; the result mentions no bit-vectors."""
+        memo = self._bool_memo
+        cached = memo.get(term)
+        if cached is not None:
+            return cached
+        result = self._blast_bool_uncached(term)
+        memo[term] = result
+        return result
+
+    def _blast_bool_uncached(self, term: Term) -> Term:
+        if isinstance(term, (T.BoolConst, T.BoolVar)):
+            return term
+        if isinstance(term, T.Not):
+            return T.not_(self.blast_bool(term.arg))
+        if isinstance(term, T.And):
+            return T.and_(self.blast_bool(a) for a in term.args)
+        if isinstance(term, T.Or):
+            return T.or_(self.blast_bool(a) for a in term.args)
+        if isinstance(term, T.Ite):
+            return T.ite(
+                self.blast_bool(term.cond),
+                self.blast_bool(term.then),
+                self.blast_bool(term.els),
+            )
+        if isinstance(term, T.BvEq):
+            lhs = self.blast_bv(term.lhs)
+            rhs = self.blast_bv(term.rhs)
+            return T.and_(T.iff(a, b) for a, b in zip(lhs, rhs))
+        if isinstance(term, T.BvUlt):
+            return self._ult(self.blast_bv(term.lhs), self.blast_bv(term.rhs))
+        if isinstance(term, T.BvUle):
+            # a <= b  <=>  not (b < a)
+            return T.not_(self._ult(self.blast_bv(term.rhs), self.blast_bv(term.lhs)))
+        raise TypeError(f"cannot bit-blast boolean term {term!r}")
+
+    @staticmethod
+    def _ult(a: tuple[Term, ...], b: tuple[Term, ...]) -> Term:
+        """Unsigned a < b over LSB-first bit tuples."""
+        result = T.false()
+        for ai, bi in zip(a, b):  # LSB -> MSB; later (higher) bits dominate
+            result = T.ite(T.xor(ai, bi), T.and_(T.not_(ai), bi), result)
+        return result
+
+    def blast_bv(self, term: Term) -> tuple[Term, ...]:
+        """Lower a bit-vector term to a tuple of boolean bits (LSB first)."""
+        memo = self._bv_memo
+        cached = memo.get(term)
+        if cached is not None:
+            return cached
+        result = self._blast_bv_uncached(term)
+        memo[term] = result
+        return result
+
+    def _blast_bv_uncached(self, term: Term) -> tuple[Term, ...]:
+        if isinstance(term, T.BvVar):
+            bits = tuple(T.bool_var(f"{term.name}!{i}") for i in range(term.width))
+            self.bv_bits[term] = bits
+            return bits
+        if isinstance(term, T.BvConst):
+            return tuple(
+                T.true() if (term.value >> i) & 1 else T.false()
+                for i in range(term.width)
+            )
+        if isinstance(term, T.BvAnd):
+            lhs, rhs = self.blast_bv(term.lhs), self.blast_bv(term.rhs)
+            return tuple(T.and_(a, b) for a, b in zip(lhs, rhs))
+        if isinstance(term, T.BvOr):
+            lhs, rhs = self.blast_bv(term.lhs), self.blast_bv(term.rhs)
+            return tuple(T.or_(a, b) for a, b in zip(lhs, rhs))
+        if isinstance(term, T.BvXor):
+            lhs, rhs = self.blast_bv(term.lhs), self.blast_bv(term.rhs)
+            return tuple(T.xor(a, b) for a, b in zip(lhs, rhs))
+        if isinstance(term, T.BvNot):
+            return tuple(T.not_(a) for a in self.blast_bv(term.arg))
+        if isinstance(term, T.BvAdd):
+            return self._adder(self.blast_bv(term.lhs), self.blast_bv(term.rhs))
+        if isinstance(term, T.BvIte):
+            cond = self.blast_bool(term.cond)
+            then = self.blast_bv(term.then)
+            els = self.blast_bv(term.els)
+            return tuple(T.ite(cond, t, e) for t, e in zip(then, els))
+        raise TypeError(f"cannot bit-blast bit-vector term {term!r}")
+
+    @staticmethod
+    def _adder(a: tuple[Term, ...], b: tuple[Term, ...]) -> tuple[Term, ...]:
+        """Ripple-carry addition modulo 2**width."""
+        carry = T.false()
+        out: list[Term] = []
+        for ai, bi in zip(a, b):
+            out.append(T.xor(T.xor(ai, bi), carry))
+            carry = T.or_(T.and_(ai, bi), T.and_(carry, T.xor(ai, bi)))
+        return tuple(out)

@@ -1,0 +1,433 @@
+"""A CDCL SAT solver (MiniSat-style) in pure Python.
+
+Features: two-watched-literal propagation, 1UIP conflict analysis with
+clause learning, non-chronological backjumping, VSIDS variable activity with
+a lazy heap, phase saving, Luby restarts, and learned-clause database
+reduction.  Literals are signed integers: variable ``v`` (1-based) appears
+positively as ``v`` and negatively as ``-v``.
+
+This is the decision engine at the bottom of the :mod:`repro.smt` stack; the
+rest of the system only talks to it through :class:`repro.smt.solver.Solver`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+
+UNASSIGNED = -1
+
+
+@dataclass
+class SatStats:
+    """Counters describing one :meth:`SatSolver.solve` run."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    learned: int = 0
+    max_learnt_len: int = 0
+
+
+class SatSolver:
+    """Incremental-construction CDCL solver.
+
+    Usage::
+
+        s = SatSolver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        s.add_clause([-a, b])
+        assert s.solve() is True
+        assert s.value(b) is True
+    """
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: list[list[int]] = []
+        self.learnts: list[list[int]] = []
+        self.watches: dict[int, list[list[int]]] = {}
+        self.assigns: list[int] = [UNASSIGNED]  # index 0 unused
+        self.levels: list[int] = [0]
+        self.reasons: list[list[int] | None] = [None]
+        self.trail: list[int] = []
+        self.trail_lim: list[int] = []
+        self.qhead = 0
+        self.activity: list[float] = [0.0]
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.phase: list[bool] = [False]
+        self.order_heap: list[tuple[float, int]] = []
+        self.ok = True
+        self.stats = SatStats()
+        self.max_learnts_base = 4000
+        self.num_clauses_added = 0
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its (positive) literal."""
+        self.num_vars += 1
+        v = self.num_vars
+        self.assigns.append(UNASSIGNED)
+        self.levels.append(0)
+        self.reasons.append(None)
+        self.activity.append(0.0)
+        self.phase.append(False)
+        self.watches[v] = []
+        self.watches[-v] = []
+        heapq.heappush(self.order_heap, (0.0, v))
+        return v
+
+    def add_clause(self, lits: list[int]) -> bool:
+        """Add a clause; returns False if the formula became trivially unsat.
+
+        Must be called at decision level 0 (i.e. before :meth:`solve`, or
+        between solve calls once the trail has been reset).
+        """
+        if not self.ok:
+            return False
+        seen: set[int] = set()
+        clause: list[int] = []
+        for lit in lits:
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            val = self._lit_value(lit)
+            if val is True and self.levels[abs(lit)] == 0:
+                return True  # already satisfied at root
+            if val is False and self.levels[abs(lit)] == 0:
+                continue  # falsified at root: drop literal
+            seen.add(lit)
+            clause.append(lit)
+        if not clause:
+            self.ok = False
+            return False
+        self.num_clauses_added += 1
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self.ok = False
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self.ok = False
+                return False
+            return True
+        self.clauses.append(clause)
+        self._watch_clause(clause)
+        return True
+
+    def _watch_clause(self, clause: list[int]) -> None:
+        self.watches[clause[0]].append(clause)
+        self.watches[clause[1]].append(clause)
+
+    # ------------------------------------------------------------------
+    # Assignment plumbing
+    # ------------------------------------------------------------------
+
+    def _lit_value(self, lit: int) -> bool | None:
+        v = self.assigns[abs(lit)]
+        if v == UNASSIGNED:
+            return None
+        truth = bool(v)
+        return truth if lit > 0 else not truth
+
+    def value(self, lit: int) -> bool | None:
+        """Truth value of a literal in the current (final) assignment."""
+        return self._lit_value(lit)
+
+    def _enqueue(self, lit: int, reason: list[int] | None) -> bool:
+        val = self._lit_value(lit)
+        if val is not None:
+            return val
+        var = abs(lit)
+        self.assigns[var] = 1 if lit > 0 else 0
+        self.levels[var] = self._decision_level()
+        self.reasons[var] = reason
+        self.phase[var] = lit > 0
+        self.trail.append(lit)
+        return True
+
+    def _decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    # ------------------------------------------------------------------
+    # Unit propagation (two watched literals)
+    # ------------------------------------------------------------------
+
+    def _propagate(self) -> list[int] | None:
+        """Propagate enqueued assignments; return a conflicting clause or None."""
+        while self.qhead < len(self.trail):
+            p = self.trail[self.qhead]
+            self.qhead += 1
+            self.stats.propagations += 1
+            neg = -p
+            watch_list = self.watches[neg]
+            i = 0
+            j = 0
+            n = len(watch_list)
+            while i < n:
+                clause = watch_list[i]
+                i += 1
+                # Ensure the false literal is in position 1.
+                if clause[0] == neg:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) is True:
+                    watch_list[j] = clause
+                    j += 1
+                    continue
+                # Look for a new literal to watch.
+                found = False
+                for k in range(2, len(clause)):
+                    lk = clause[k]
+                    if self._lit_value(lk) is not False:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self.watches[clause[1]].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                watch_list[j] = clause
+                j += 1
+                if self._lit_value(first) is False:
+                    # Conflict: keep remaining watches, then report.
+                    while i < n:
+                        watch_list[j] = watch_list[i]
+                        j += 1
+                        i += 1
+                    del watch_list[j:]
+                    self.qhead = len(self.trail)
+                    return clause
+                self._enqueue(first, clause)
+            del watch_list[j:]
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        learnt: list[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        p: int | None = None
+        reason: list[int] = conflict
+        index = len(self.trail) - 1
+        cur_level = self._decision_level()
+
+        while True:
+            for q in reason:
+                if p is not None and q == p:
+                    continue
+                v = abs(q)
+                if not seen[v] and self.levels[v] > 0:
+                    seen[v] = True
+                    self._bump_var(v)
+                    if self.levels[v] >= cur_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # Pick next literal from the trail.
+            while not seen[abs(self.trail[index])]:
+                index -= 1
+            p = self.trail[index]
+            index -= 1
+            v = abs(p)
+            seen[v] = False
+            counter -= 1
+            if counter == 0:
+                break
+            r = self.reasons[v]
+            assert r is not None, "UIP literal must have a reason"
+            reason = r
+        learnt[0] = -p
+
+        # Conflict-clause minimisation: drop literals implied by the rest.
+        keep = [learnt[0]]
+        marked = {abs(l) for l in learnt}
+        for lit in learnt[1:]:
+            r = self.reasons[abs(lit)]
+            if r is None:
+                keep.append(lit)
+                continue
+            if any(abs(q) not in marked and self.levels[abs(q)] > 0 for q in r if q != -lit):
+                keep.append(lit)
+        learnt = keep
+
+        if len(learnt) == 1:
+            backjump = 0
+        else:
+            # Second-highest decision level in the learnt clause.
+            max_i = 1
+            for i in range(2, len(learnt)):
+                if self.levels[abs(learnt[i])] > self.levels[abs(learnt[max_i])]:
+                    max_i = i
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            backjump = self.levels[abs(learnt[1])]
+        self.stats.max_learnt_len = max(self.stats.max_learnt_len, len(learnt))
+        return learnt, backjump
+
+    def _bump_var(self, v: int) -> None:
+        self.activity[v] += self.var_inc
+        if self.activity[v] > 1e100:
+            for i in range(1, self.num_vars + 1):
+                self.activity[i] *= 1e-100
+            self.var_inc *= 1e-100
+        heapq.heappush(self.order_heap, (-self.activity[v], v))
+
+    def _decay_activities(self) -> None:
+        self.var_inc /= self.var_decay
+
+    # ------------------------------------------------------------------
+    # Backtracking and decisions
+    # ------------------------------------------------------------------
+
+    def _cancel_until(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        bound = self.trail_lim[level]
+        for idx in range(len(self.trail) - 1, bound - 1, -1):
+            v = abs(self.trail[idx])
+            self.assigns[v] = UNASSIGNED
+            self.reasons[v] = None
+            heapq.heappush(self.order_heap, (-self.activity[v], v))
+        del self.trail[bound:]
+        del self.trail_lim[level:]
+        self.qhead = len(self.trail)
+
+    def _pick_branch_var(self) -> int | None:
+        while self.order_heap:
+            __, v = heapq.heappop(self.order_heap)
+            if self.assigns[v] == UNASSIGNED:
+                return v
+        return None
+
+    # ------------------------------------------------------------------
+    # Learned-clause database reduction
+    # ------------------------------------------------------------------
+
+    def _reduce_db(self) -> None:
+        # Keep shorter clauses: length is a cheap, effective quality proxy.
+        self.learnts.sort(key=len)
+        keep_n = len(self.learnts) // 2
+        dropped = self.learnts[keep_n:]
+        self.learnts = self.learnts[:keep_n]
+        drop_ids = {id(c) for c in dropped}
+        locked = {id(self.reasons[abs(lit)]) for lit in self.trail if self.reasons[abs(lit)] is not None}
+        drop_ids -= locked
+        for c in dropped:
+            if id(c) in locked:
+                self.learnts.append(c)
+        for lit, wl in self.watches.items():
+            self.watches[lit] = [c for c in wl if id(c) not in drop_ids]
+
+    # ------------------------------------------------------------------
+    # Main search loop
+    # ------------------------------------------------------------------
+
+    def solve(self, assumptions: list[int] | None = None, conflict_budget: int | None = None) -> bool | None:
+        """Run CDCL search.
+
+        Returns True (sat), False (unsat), or None if ``conflict_budget``
+        was exhausted.  ``assumptions`` are decided first; an unsat answer
+        under assumptions means the formula plus assumptions is unsat.
+        """
+        if not self.ok:
+            return False
+        assumptions = assumptions or []
+        conflict = self._propagate()
+        if conflict is not None:
+            self.ok = False
+            return False
+
+        restart_idx = 0
+        conflicts_since_restart = 0
+        restart_limit = 100 * _luby(restart_idx)
+        max_learnts = self.max_learnts_base
+        total_conflicts = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                total_conflicts += 1
+                conflicts_since_restart += 1
+                if self._decision_level() == 0:
+                    return False
+                learnt, backjump = self._analyze(conflict)
+                self._cancel_until(backjump)
+                if len(learnt) == 1:
+                    self._enqueue(learnt[0], None)
+                else:
+                    self.learnts.append(learnt)
+                    self._watch_clause(learnt)
+                    self.stats.learned += 1
+                    self._enqueue(learnt[0], learnt)
+                self._decay_activities()
+                if conflict_budget is not None and total_conflicts >= conflict_budget:
+                    self._cancel_until(0)
+                    return None
+                continue
+
+            if conflicts_since_restart >= restart_limit:
+                self.stats.restarts += 1
+                restart_idx += 1
+                conflicts_since_restart = 0
+                restart_limit = 100 * _luby(restart_idx)
+                self._cancel_until(0)
+                continue
+
+            if len(self.learnts) > max_learnts:
+                self._reduce_db()
+                max_learnts = int(max_learnts * 1.5)
+
+            # Apply assumptions before free decisions.
+            next_lit: int | None = None
+            if self._decision_level() < len(assumptions):
+                lit = assumptions[self._decision_level()]
+                val = self._lit_value(lit)
+                if val is True:
+                    self.trail_lim.append(len(self.trail))
+                    continue
+                if val is False:
+                    self._cancel_until(0)
+                    return False
+                next_lit = lit
+            else:
+                v = self._pick_branch_var()
+                if v is None:
+                    return True
+                next_lit = v if self.phase[v] else -v
+
+            self.stats.decisions += 1
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(next_lit, None)
+
+    def model(self) -> dict[int, bool]:
+        """Assignment after a sat answer, as {var: bool}."""
+        return {
+            v: bool(self.assigns[v])
+            for v in range(1, self.num_vars + 1)
+            if self.assigns[v] != UNASSIGNED
+        }
+
+    def reset_trail(self) -> None:
+        """Undo all decisions, keeping learnt clauses (between solve calls)."""
+        self._cancel_until(0)
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence 1,1,2,1,1,2,4,... (``i`` is 0-based)."""
+    i += 1
+    while True:
+        k = i.bit_length()
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i -= (1 << (k - 1)) - 1

@@ -1,0 +1,227 @@
+"""Public solver facade: assertions in, SAT/UNSAT plus models out.
+
+``Solver`` collects term-level assertions, bit-blasts them, runs the Tseitin
+transform, and invokes the CDCL core.  ``Model`` evaluates *original* terms
+(including bit-vectors) against the SAT assignment so callers never see the
+bit-level encoding.  ``prove`` wraps the refutation idiom used throughout
+Lightyear: a check ``A => B`` passes iff ``A and not B`` is unsatisfiable.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+
+from repro.smt import terms as T
+from repro.smt.bitblast import Bitblaster
+from repro.smt.sat import SatSolver, SatStats
+from repro.smt.terms import Term
+from repro.smt.tseitin import Tseitin
+
+
+class Result(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SolverStats:
+    """Size and timing data for one ``check()`` call."""
+
+    num_vars: int = 0
+    num_clauses: int = 0
+    build_time_s: float = 0.0
+    solve_time_s: float = 0.0
+    sat: SatStats = field(default_factory=SatStats)
+
+    @property
+    def total_time_s(self) -> float:
+        return self.build_time_s + self.solve_time_s
+
+
+class Model:
+    """A satisfying assignment, queried at the term level."""
+
+    def __init__(self, bool_values: dict[Term, bool], bv_values: dict[Term, int]):
+        self._bools = bool_values
+        self._bvs = bv_values
+        self._memo: dict[Term, object] = {}
+
+    def eval_bool(self, term: Term) -> bool:
+        value = self._eval(term)
+        if not isinstance(value, bool):
+            raise TypeError(f"{term!r} is not boolean-sorted")
+        return value
+
+    def eval_bv(self, term: Term) -> int:
+        value = self._eval(term)
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise TypeError(f"{term!r} is not bit-vector-sorted")
+        return value
+
+    def _eval(self, term: Term):
+        memo = self._memo
+        if term in memo:
+            return memo[term]
+        value = self._eval_uncached(term)
+        memo[term] = value
+        return value
+
+    def _eval_uncached(self, term: Term):
+        if isinstance(term, T.BoolConst):
+            return term.value
+        if isinstance(term, T.BoolVar):
+            return self._bools.get(term, False)
+        if isinstance(term, T.Not):
+            return not self._eval(term.arg)
+        if isinstance(term, T.And):
+            return all(self._eval(a) for a in term.args)
+        if isinstance(term, T.Or):
+            return any(self._eval(a) for a in term.args)
+        if isinstance(term, T.Ite):
+            return self._eval(term.then) if self._eval(term.cond) else self._eval(term.els)
+        if isinstance(term, T.BvVar):
+            return self._bvs.get(term, 0)
+        if isinstance(term, T.BvConst):
+            return term.value
+        if isinstance(term, T.BvEq):
+            return self._eval(term.lhs) == self._eval(term.rhs)
+        if isinstance(term, T.BvUlt):
+            return self._eval(term.lhs) < self._eval(term.rhs)
+        if isinstance(term, T.BvUle):
+            return self._eval(term.lhs) <= self._eval(term.rhs)
+        if isinstance(term, T.BvAnd):
+            return self._eval(term.lhs) & self._eval(term.rhs)
+        if isinstance(term, T.BvOr):
+            return self._eval(term.lhs) | self._eval(term.rhs)
+        if isinstance(term, T.BvXor):
+            return self._eval(term.lhs) ^ self._eval(term.rhs)
+        if isinstance(term, T.BvNot):
+            mask = (1 << term.width) - 1
+            return ~self._eval(term.arg) & mask
+        if isinstance(term, T.BvAdd):
+            mask = (1 << term.width) - 1
+            return (self._eval(term.lhs) + self._eval(term.rhs)) & mask
+        if isinstance(term, T.BvIte):
+            return self._eval(term.then) if self._eval(term.cond) else self._eval(term.els)
+        raise TypeError(f"cannot evaluate {term!r}")
+
+
+class Solver:
+    """Collects assertions and decides their conjunction.
+
+    A fresh encoding is built per ``check()`` call; Lightyear's local checks
+    are small and independent, so incrementality across checks buys nothing
+    while complicating soundness.
+    """
+
+    def __init__(self) -> None:
+        self._assertions: list[Term] = []
+        self._model: Model | None = None
+        self.stats = SolverStats()
+
+    def add(self, term: Term) -> None:
+        """Assert a boolean term."""
+        if not term.is_bool:
+            raise TypeError(f"assertions must be boolean, got {term!r}")
+        self._assertions.append(term)
+
+    @property
+    def assertions(self) -> tuple[Term, ...]:
+        return tuple(self._assertions)
+
+    def _build(self) -> tuple[SatSolver, Bitblaster, Tseitin]:
+        build_start = time.perf_counter()
+        sat = SatSolver()
+        blaster = Bitblaster()
+        tseitin = Tseitin(sat)
+        lowered = [blaster.blast_bool(a) for a in self._assertions]
+        for term in lowered:
+            tseitin.assert_true(term)
+        build_end = time.perf_counter()
+        self.stats = SolverStats(
+            num_vars=sat.num_vars,
+            num_clauses=sat.num_clauses_added,
+            build_time_s=build_end - build_start,
+        )
+        return sat, blaster, tseitin
+
+    def encode_only(self) -> SolverStats:
+        """Build the CNF encoding without running SAT search.
+
+        Used by the scaling experiments to measure encoding sizes at
+        network sizes where actually solving would exceed the time budget.
+        """
+        self._model = None
+        self._build()
+        return self.stats
+
+    def check(self, conflict_budget: int | None = None) -> Result:
+        """Decide the conjunction of all added assertions."""
+        self._model = None
+        sat, blaster, tseitin = self._build()
+        solve_start = time.perf_counter()
+        answer = sat.solve(conflict_budget=conflict_budget)
+        self.stats.solve_time_s = time.perf_counter() - solve_start
+        self.stats.sat = sat.stats
+
+        if answer is None:
+            return Result.UNKNOWN
+        if not answer:
+            return Result.UNSAT
+
+        assignment = sat.model()
+        bool_values: dict[Term, bool] = {}
+        for term, lit in tseitin._lit_memo.items():
+            if isinstance(term, T.BoolVar):
+                bool_values[term] = assignment.get(abs(lit), False) == (lit > 0)
+        bv_values: dict[Term, int] = {}
+        for bv, bits in blaster.bv_bits.items():
+            value = 0
+            for i, bit in enumerate(bits):
+                lit = tseitin._lit_memo.get(bit)
+                if lit is None:
+                    continue
+                if assignment.get(abs(lit), False) == (lit > 0):
+                    value |= 1 << i
+            bv_values[bv] = value
+        self._model = Model(bool_values, bv_values)
+        return Result.SAT
+
+    def model(self) -> Model:
+        if self._model is None:
+            raise RuntimeError("model() is only available after a SAT check()")
+        return self._model
+
+
+@dataclass
+class Counterexample:
+    """A failed ``prove`` call: the model witnesses the violated implication."""
+
+    model: Model
+    stats: SolverStats
+
+
+def prove(
+    goal: Term,
+    assumptions: list[Term] | None = None,
+    conflict_budget: int | None = None,
+) -> tuple[Counterexample | None, SolverStats]:
+    """Prove ``assumptions => goal`` by refutation.
+
+    Returns ``(None, stats)`` when the implication is valid and
+    ``(Counterexample, stats)`` when it is not.  Raises ``TimeoutError`` if
+    the conflict budget runs out.
+    """
+    solver = Solver()
+    for a in assumptions or []:
+        solver.add(a)
+    solver.add(T.not_(goal))
+    result = solver.check(conflict_budget=conflict_budget)
+    if result is Result.UNKNOWN:
+        raise TimeoutError("conflict budget exhausted")
+    if result is Result.UNSAT:
+        return None, solver.stats
+    return Counterexample(solver.model(), solver.stats), solver.stats

@@ -1,0 +1,94 @@
+"""Tseitin transformation: boolean term DAGs to CNF inside a SatSolver.
+
+Each distinct subterm gets at most one SAT literal; the DAG sharing produced
+by the interned term constructors therefore translates directly into CNF
+sharing.  Top-level conjunctions are split instead of encoded, and top-level
+disjunctions become a single clause, which keeps the common
+"assert implication" pattern cheap.
+"""
+
+from __future__ import annotations
+
+from repro.smt import terms as T
+from repro.smt.sat import SatSolver
+from repro.smt.terms import Term
+
+
+class Tseitin:
+    """Encode boolean terms into a :class:`SatSolver` instance."""
+
+    def __init__(self, solver: SatSolver) -> None:
+        self.solver = solver
+        self._lit_memo: dict[Term, int] = {}
+        self._true_lit: int | None = None
+
+    # ------------------------------------------------------------------
+
+    def assert_true(self, term: Term) -> None:
+        """Add CNF clauses forcing ``term`` to hold."""
+        if term is T.TRUE:
+            return
+        if term is T.FALSE:
+            self.solver.ok = False
+            return
+        if isinstance(term, T.And):
+            for arg in term.args:
+                self.assert_true(arg)
+            return
+        if isinstance(term, T.Or):
+            self.solver.add_clause([self.literal(a) for a in term.args])
+            return
+        self.solver.add_clause([self.literal(term)])
+
+    def literal(self, term: Term) -> int:
+        """Return a SAT literal equisatisfiably representing ``term``."""
+        memo = self._lit_memo
+        cached = memo.get(term)
+        if cached is not None:
+            return cached
+        lit = self._encode(term)
+        memo[term] = lit
+        return lit
+
+    # ------------------------------------------------------------------
+
+    def _const_true(self) -> int:
+        if self._true_lit is None:
+            self._true_lit = self.solver.new_var()
+            self.solver.add_clause([self._true_lit])
+        return self._true_lit
+
+    def _encode(self, term: Term) -> int:
+        add = self.solver.add_clause
+        if isinstance(term, T.BoolConst):
+            t = self._const_true()
+            return t if term.value else -t
+        if isinstance(term, T.BoolVar):
+            return self.solver.new_var()
+        if isinstance(term, T.Not):
+            return -self.literal(term.arg)
+        if isinstance(term, T.And):
+            lits = [self.literal(a) for a in term.args]
+            v = self.solver.new_var()
+            for lit in lits:
+                add([-v, lit])
+            add([v] + [-lit for lit in lits])
+            return v
+        if isinstance(term, T.Or):
+            lits = [self.literal(a) for a in term.args]
+            v = self.solver.new_var()
+            for lit in lits:
+                add([v, -lit])
+            add([-v] + lits)
+            return v
+        if isinstance(term, T.Ite):
+            c = self.literal(term.cond)
+            t = self.literal(term.then)
+            e = self.literal(term.els)
+            v = self.solver.new_var()
+            add([-v, -c, t])
+            add([-v, c, e])
+            add([v, -c, -t])
+            add([v, c, -e])
+            return v
+        raise TypeError(f"Tseitin expects a bit-blasted boolean term, got {term!r}")

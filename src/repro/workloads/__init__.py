@@ -1,0 +1,18 @@
+"""Synthetic workload generators.
+
+Three families:
+
+* :mod:`repro.workloads.figure1` — the running example of §2 (three
+  routers, two ISPs, one customer, community-based no-transit).
+* :mod:`repro.workloads.fullmesh` — the §6.2 scaling topology (iBGP full
+  mesh, one eBGP neighbor per router).
+* :mod:`repro.workloads.wan` — a multi-region cloud WAN standing in for the
+  proprietary network of §6.1 (Internet edge routers, data centers, region
+  communities, reused private prefixes), with optional injected bugs.
+"""
+
+from repro.workloads.figure1 import build_figure1
+from repro.workloads.fullmesh import build_full_mesh
+from repro.workloads.wan import WanNetwork, build_wan
+
+__all__ = ["build_figure1", "build_full_mesh", "WanNetwork", "build_wan"]

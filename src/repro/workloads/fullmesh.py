@@ -1,0 +1,112 @@
+"""The §6.2 scaling topology: an iBGP full mesh with one eBGP peer each.
+
+``build_full_mesh(n)`` creates routers R1..Rn in one AS, every pair joined
+by an iBGP session (so the network has N^2-ish directed edges, as in the
+paper), and each router Ri joined to one external neighbor Ei.  The
+configuration uses only prefix and community filters, mirroring the paper's
+"relatively simple" synthetic configurations:
+
+* R1's import from E1 tags routes with the transit community 100:1;
+* every other eBGP import filters long prefixes (a prefix filter);
+* R2's export to E2 denies routes tagged 100:1;
+* no filter anywhere strips 100:1.
+
+The no-transit property to verify is that no route from E1 is ever sent on
+the edge R2 -> E2 — the same shape as Figure 1.
+"""
+
+from __future__ import annotations
+
+from repro.bgp.config import NeighborConfig, NetworkConfig, RouterConfig
+from repro.bgp.policy import (
+    AddCommunity,
+    Disposition,
+    MatchCommunity,
+    MatchPrefix,
+    RouteMap,
+    RouteMapClause,
+)
+from repro.bgp.prefix import Prefix, PrefixRange
+from repro.bgp.route import Community
+from repro.bgp.topology import Topology
+
+
+TRANSIT_COMMUNITY = Community(100, 1)
+INTERNAL_AS = 65000
+EXTERNAL_AS_BASE = 1000
+
+_SHORT_PREFIXES = MatchPrefix((PrefixRange(Prefix.parse("0.0.0.0/0"), 0, 24),))
+
+
+def build_full_mesh(n: int) -> NetworkConfig:
+    """Build the N-router full-mesh network of the scaling experiments."""
+    if n < 2:
+        raise ValueError("full mesh needs at least two routers")
+    topo = Topology()
+    routers = [f"R{i}" for i in range(1, n + 1)]
+    externals = [f"E{i}" for i in range(1, n + 1)]
+    for r in routers:
+        topo.add_router(r)
+    for e in externals:
+        topo.add_external(e)
+    for i, r in enumerate(routers):
+        topo.add_peering(r, externals[i])
+    for i in range(n):
+        for j in range(i + 1, n):
+            topo.add_peering(routers[i], routers[j])
+
+    config = NetworkConfig(topo)
+    for i, e in enumerate(externals):
+        config.set_external_asn(e, EXTERNAL_AS_BASE + i + 1)
+
+    # E1 import at R1: prefix filter + tag with the transit community.
+    e1_in = RouteMap(
+        "E1-IN",
+        (
+            RouteMapClause(
+                10,
+                matches=(_SHORT_PREFIXES,),
+                actions=(AddCommunity(TRANSIT_COMMUNITY),),
+            ),
+        ),
+    )
+    # Other externals: prefix filter only.
+    generic_in = RouteMap("EXT-IN", (RouteMapClause(10, matches=(_SHORT_PREFIXES,)),))
+    # R2 -> E2 export: drop transit-tagged routes.
+    e2_out = RouteMap(
+        "E2-OUT",
+        (
+            RouteMapClause(
+                10, Disposition.DENY, matches=(MatchCommunity(TRANSIT_COMMUNITY),)
+            ),
+            RouteMapClause(20),
+        ),
+    )
+
+    for i, name in enumerate(routers):
+        rc = RouterConfig(name, INTERNAL_AS)
+        external = externals[i]
+        if i == 0:
+            rc.add_neighbor(
+                NeighborConfig(external, EXTERNAL_AS_BASE + 1, import_map=e1_in)
+            )
+        elif i == 1:
+            rc.add_neighbor(
+                NeighborConfig(
+                    external,
+                    EXTERNAL_AS_BASE + 2,
+                    import_map=generic_in,
+                    export_map=e2_out,
+                )
+            )
+        else:
+            rc.add_neighbor(
+                NeighborConfig(external, EXTERNAL_AS_BASE + i + 1, import_map=generic_in)
+            )
+        for other in routers:
+            if other != name:
+                rc.add_neighbor(NeighborConfig(other, INTERNAL_AS))
+        config.add_router_config(rc)
+
+    assert not config.validate()
+    return config

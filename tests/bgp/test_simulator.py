@@ -1,0 +1,188 @@
+"""Tests for the BGP message-passing simulator and its trace axioms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Community, Route
+from repro.bgp.simulator import Event, EventKind, Simulator
+from repro.bgp.topology import Edge
+from repro.workloads.figure1 import build_figure1
+
+
+CUST_ROUTE = Route(prefix=Prefix.parse("20.1.0.0/16"))
+ISP_ROUTE = Route(prefix=Prefix.parse("99.0.0.0/8"))
+
+
+def test_customer_route_reaches_isp2():
+    config = build_figure1()
+    sim = Simulator(config)
+    result = sim.run({"Customer": [CUST_ROUTE]})
+    forwarded = result.routes_forwarded_on(Edge("R2", "ISP2"))
+    assert any(r.prefix == CUST_ROUTE.prefix for r in forwarded)
+
+
+def test_isp1_route_never_reaches_isp2():
+    config = build_figure1()
+    result = Simulator(config).run({"ISP1": [ISP_ROUTE]})
+    assert result.routes_forwarded_on(Edge("R2", "ISP2")) == []
+    # ...but it does reach R2 itself (tagged), which selects it.
+    selected = result.selected("R2", ISP_ROUTE.prefix)
+    assert selected is not None
+    assert Community(100, 1) in selected.communities
+
+
+def test_simultaneous_announcements():
+    config = build_figure1()
+    result = Simulator(config).run(
+        {"ISP1": [ISP_ROUTE], "Customer": [CUST_ROUTE]}
+    )
+    out = result.routes_forwarded_on(Edge("R2", "ISP2"))
+    assert {r.prefix for r in out} == {CUST_ROUTE.prefix}
+
+
+def test_external_as_prepended_on_announcement():
+    config = build_figure1()
+    result = Simulator(config).run({"Customer": [CUST_ROUTE]})
+    selected = result.selected("R3", CUST_ROUTE.prefix)
+    assert selected.as_path[0] == 300
+
+
+def test_customer_prefix_filter_blocks_other_prefixes():
+    config = build_figure1()
+    result = Simulator(config).run({"Customer": [ISP_ROUTE]})
+    assert result.selected("R3", ISP_ROUTE.prefix) is None
+
+
+def test_link_failure_blocks_delivery():
+    config = build_figure1()
+    sim = Simulator(config, failed_edges={Edge("R3", "R2"), Edge("R3", "R1")})
+    result = sim.run({"Customer": [CUST_ROUTE]})
+    # R3 still selects the route, but R2 never hears about it.
+    assert result.selected("R3", CUST_ROUTE.prefix) is not None
+    assert result.selected("R2", CUST_ROUTE.prefix) is None
+    assert result.routes_forwarded_on(Edge("R2", "ISP2")) == []
+
+
+def test_failed_edge_still_records_frwd_but_no_recv():
+    config = build_figure1()
+    sim = Simulator(config, failed_edges={Edge("R3", "R2")})
+    result = sim.run({"Customer": [CUST_ROUTE]})
+    frwd = result.events_at(Edge("R3", "R2"), EventKind.FRWD)
+    recv = result.events_at(Edge("R3", "R2"), EventKind.RECV)
+    assert frwd and not recv
+
+
+def test_ibgp_full_mesh_rule_limits_propagation():
+    config = build_figure1()
+    result = Simulator(config).run({"Customer": [CUST_ROUTE]})
+    # R1 learns the customer route from R3 over iBGP and must not
+    # re-advertise it to R2 over iBGP.
+    assert result.selected("R1", CUST_ROUTE.prefix) is not None
+    frwd_r1_r2 = result.routes_forwarded_on(Edge("R1", "R2"))
+    assert all(r.prefix != CUST_ROUTE.prefix for r in frwd_r1_r2)
+
+
+def test_ebgp_loop_prevention():
+    config = build_figure1()
+    looped = Route(prefix=Prefix.parse("99.0.0.0/8"), as_path=(65000, 99))
+    result = Simulator(config).run({"ISP1": [looped]})
+    assert result.selected("R1", looped.prefix) is None
+
+
+def test_unknown_external_rejected():
+    config = build_figure1()
+    with pytest.raises(ValueError):
+        Simulator(config).run({"NOPE": [CUST_ROUTE]})
+
+
+def test_result_event_helpers():
+    config = build_figure1()
+    result = Simulator(config).run({"Customer": [CUST_ROUTE]})
+    recvs = result.routes_received_on(Edge("Customer", "R3"))
+    assert len(recvs) == 1
+    slcts = result.routes_selected_at("R3")
+    assert any(r.prefix == CUST_ROUTE.prefix for r in slcts)
+
+
+# ---------------------------------------------------------------------------
+# Trace axioms (Appendix A): the simulator's traces must be Valid.
+# ---------------------------------------------------------------------------
+
+
+def _check_safety_axioms(config, result) -> None:
+    """Assert the Appendix A safety axioms hold for a simulated trace."""
+    events = result.events
+    for k, event in enumerate(events):
+        if event.kind is EventKind.RECV:
+            edge = event.location
+            if config.topology.is_external(edge.src):
+                continue
+            assert any(
+                e.kind is EventKind.FRWD and e.location == edge and e.route == event.route
+                for e in events[:k]
+            ), f"recv without earlier frwd: {event}"
+        elif event.kind is EventKind.SLCT:
+            router = event.location
+            found = False
+            for e in events[:k]:
+                if e.kind is EventKind.RECV and e.location.dst == router:
+                    if config.import_route(e.location, e.route) == event.route:
+                        found = True
+                        break
+            assert found, f"slct without justifying recv+import: {event}"
+        elif event.kind is EventKind.FRWD:
+            edge = event.location
+            if event.route in config.originate(edge):
+                continue
+            found = False
+            for e in events[:k]:
+                if e.kind is EventKind.SLCT and e.location == edge.src:
+                    if config.export_route(edge, e.route) == event.route:
+                        found = True
+                        break
+            assert found, f"frwd without justifying slct+export: {event}"
+
+
+def test_simulated_trace_satisfies_safety_axioms():
+    config = build_figure1()
+    result = Simulator(config).run({"ISP1": [ISP_ROUTE], "Customer": [CUST_ROUTE]})
+    _check_safety_axioms(config, result)
+
+
+def test_simulated_trace_satisfies_safety_axioms_under_failures():
+    config = build_figure1()
+    sim = Simulator(config, failed_edges={Edge("R3", "R2")})
+    result = sim.run({"ISP1": [ISP_ROUTE], "Customer": [CUST_ROUTE]})
+    _check_safety_axioms(config, result)
+
+
+def test_liveness_axiom_selected_routes_are_exported():
+    config = build_figure1()
+    result = Simulator(config).run({"Customer": [CUST_ROUTE]})
+    # Axiom: if slct(R, r) and Export(R->N, r) accepts, then frwd occurs.
+    for event in result.events:
+        if event.kind is not EventKind.SLCT:
+            continue
+        router = event.location
+        # Only the *final* selection must be exported everywhere.
+        if result.best[router].get(event.route.prefix, (None, None))[1] != event.route:
+            continue
+        learned_from = result.best[router][event.route.prefix][0]
+        for edge in config.topology.edges_from(router):
+            if edge.dst == learned_from:
+                continue
+            if (
+                not config.is_ebgp(Edge(learned_from, router))
+                and not config.is_ebgp(edge)
+            ):
+                continue  # iBGP full-mesh rule
+            exported = config.export_route(edge, event.route)
+            if exported is not None:
+                assert any(
+                    e.kind is EventKind.FRWD
+                    and e.location == edge
+                    and e.route == exported
+                    for e in result.events
+                ), f"missing frwd on {edge} for {event.route}"

@@ -1,0 +1,70 @@
+"""Shared fixtures: the Figure 1 verification problem (Tables 2 and 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.topology import Edge
+from repro.core.properties import InvariantMap, LivenessProperty, SafetyProperty
+from repro.lang.ghost import GhostAttribute
+from repro.lang.predicates import GhostIs, HasCommunity, Implies, Not, PrefixIn
+from repro.bgp.prefix import PrefixRange
+from repro.workloads.figure1 import (
+    CUSTOMER_PREFIX,
+    TRANSIT_COMMUNITY,
+    build_figure1,
+)
+
+
+@pytest.fixture
+def fig1_config():
+    return build_figure1()
+
+
+@pytest.fixture
+def from_isp1(fig1_config):
+    return GhostAttribute.source_tracker(
+        "FromISP1", fig1_config.topology, [Edge("ISP1", "R1")]
+    )
+
+
+def no_transit_property() -> SafetyProperty:
+    """Table 2 end-to-end property: no ISP1 routes sent to ISP2."""
+    return SafetyProperty(
+        location=Edge("R2", "ISP2"),
+        predicate=Not(GhostIs("FromISP1")),
+        name="no-transit",
+    )
+
+
+def no_transit_invariants(config) -> InvariantMap:
+    """Table 2 network invariants (the three-row structure)."""
+    inv = InvariantMap(
+        config.topology,
+        default=Implies(GhostIs("FromISP1"), HasCommunity(TRANSIT_COMMUNITY)),
+    )
+    inv.set_edge("R2", "ISP2", Not(GhostIs("FromISP1")))
+    return inv
+
+
+def customer_prefixes() -> PrefixIn:
+    return PrefixIn((PrefixRange(CUSTOMER_PREFIX, 8, 24),))
+
+
+def customer_liveness_property() -> LivenessProperty:
+    """Table 3: customer routes eventually reach ISP2."""
+    has_cust = customer_prefixes()
+    good = has_cust & Not(HasCommunity(TRANSIT_COMMUNITY))
+    return LivenessProperty(
+        location=Edge("R2", "ISP2"),
+        predicate=has_cust,
+        path=(
+            Edge("Customer", "R3"),
+            "R3",
+            Edge("R3", "R2"),
+            "R2",
+            Edge("R2", "ISP2"),
+        ),
+        constraints=(has_cust, good, good, good, has_cust),
+        name="customer-reaches-isp2",
+    )

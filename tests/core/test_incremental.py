@@ -1,0 +1,114 @@
+"""Tests for incremental re-verification after per-router config edits."""
+
+from __future__ import annotations
+
+import copy
+
+from repro.bgp.policy import (
+    AddCommunity,
+    Disposition,
+    MatchCommunity,
+    MatchPrefix,
+    RouteMap,
+    RouteMapClause,
+)
+from repro.bgp.prefix import Prefix, PrefixRange
+from repro.core.incremental import IncrementalVerifier
+from repro.workloads.figure1 import TRANSIT_COMMUNITY, build_figure1
+
+from tests.core.conftest import no_transit_invariants, no_transit_property
+
+
+def _verifier(config, from_isp1):
+    return IncrementalVerifier(
+        config,
+        no_transit_property(),
+        no_transit_invariants(config),
+        ghosts=(from_isp1,),
+    )
+
+
+def test_initial_run_executes_all_checks(fig1_config, from_isp1):
+    v = _verifier(fig1_config, from_isp1)
+    result = v.verify()
+    assert result.report.passed
+    assert result.rerun_checks == 19
+    assert result.cached_checks == 0
+
+
+def test_noop_reverify_reuses_everything(fig1_config, from_isp1):
+    v = _verifier(fig1_config, from_isp1)
+    v.verify()
+    result = v.reverify(build_figure1())  # identical configuration
+    assert result.report.passed
+    assert result.rerun_checks == 0
+    assert result.cached_checks == 19
+    assert result.reuse_fraction == 1.0
+
+
+def test_single_router_edit_reruns_only_its_checks(fig1_config, from_isp1):
+    v = _verifier(fig1_config, from_isp1)
+    v.verify()
+
+    # Edit R3's customer import (a benign tweak: extra deny of a bogon).
+    updated = build_figure1()
+    old_map = updated.routers["R3"].neighbors["Customer"].import_map
+    new_clauses = (
+        RouteMapClause(
+            1,
+            Disposition.DENY,
+            matches=(MatchPrefix((PrefixRange.parse("192.168.0.0/16 le 32"),)),),
+        ),
+    ) + old_map.clauses
+    updated.routers["R3"].neighbors["Customer"].import_map = RouteMap(
+        "CUST-IN", new_clauses
+    )
+
+    result = v.reverify(updated)
+    assert result.report.passed
+    # R3 owns: imports on Customer->R3, R1->R3, R2->R3 and exports on
+    # R3->Customer, R3->R1, R3->R2 = 6 checks.
+    assert result.rerun_checks == 6
+    assert result.cached_checks == 13
+
+
+def test_breaking_edit_detected_incrementally(fig1_config, from_isp1):
+    v = _verifier(fig1_config, from_isp1)
+    assert v.verify().report.passed
+
+    # R2 starts re-tagging... er, stripping the transit community on the
+    # iBGP import from R1 — breaking the "no filter strips 100:1" invariant.
+    updated = build_figure1()
+    from repro.bgp.policy import DeleteCommunity
+
+    updated.routers["R2"].neighbors["R1"].import_map = RouteMap(
+        "STRIP",
+        (RouteMapClause(10, actions=(DeleteCommunity(TRANSIT_COMMUNITY),)),),
+    )
+    result = v.reverify(updated)
+    assert not result.report.passed
+    assert result.rerun_checks == 6
+    blamed = {f.blamed_router for f in result.report.failures}
+    assert blamed == {"R2"}
+
+    # Reverting the edit re-runs R2's checks again and passes.
+    result2 = v.reverify(build_figure1())
+    assert result2.report.passed
+    assert result2.rerun_checks == 6
+
+
+def test_topology_change_triggers_full_rerun(fig1_config, from_isp1):
+    v = _verifier(fig1_config, from_isp1)
+    v.verify()
+
+    updated = build_figure1()
+    updated.topology.add_external("ISP3")
+    updated.set_external_asn("ISP3", 400)
+    updated.topology.add_peering("R1", "ISP3")
+    from repro.bgp.config import NeighborConfig
+
+    updated.routers["R1"].add_neighbor(NeighborConfig("ISP3", 400))
+
+    result = v.reverify(updated)
+    assert result.cached_checks == 0
+    assert result.rerun_checks == 21  # two more edges -> two more checks

@@ -1,0 +1,105 @@
+"""Tests for property specifications and invariant maps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.topology import Edge
+from repro.core.properties import InvariantMap, LivenessProperty, SafetyProperty
+from repro.lang.predicates import FalsePred, TruePred
+from repro.workloads.figure1 import build_figure1
+
+
+def test_invariant_default_and_override():
+    config = build_figure1()
+    inv = InvariantMap(config.topology, default=FalsePred())
+    assert isinstance(inv.get("R1"), FalsePred)
+    inv.set("R1", TruePred())
+    assert isinstance(inv.get("R1"), TruePred)
+    assert isinstance(inv.get("R2"), FalsePred)
+    assert inv.overridden_locations() == ("R1",)
+
+
+def test_invariant_external_source_edges_pinned_true():
+    config = build_figure1()
+    inv = InvariantMap(config.topology, default=FalsePred())
+    # Reads return True regardless of the default.
+    assert isinstance(inv.get(Edge("ISP1", "R1")), TruePred)
+    # Writes are rejected: §4.1 requires I = Routes there.
+    with pytest.raises(ValueError):
+        inv.set(Edge("ISP1", "R1"), FalsePred())
+
+
+def test_invariant_edges_to_externals_are_settable():
+    config = build_figure1()
+    inv = InvariantMap(config.topology)
+    inv.set_edge("R2", "ISP2", FalsePred())
+    assert isinstance(inv.get(Edge("R2", "ISP2")), FalsePred)
+
+
+def test_invariant_rejects_unknown_locations():
+    config = build_figure1()
+    inv = InvariantMap(config.topology)
+    with pytest.raises(KeyError):
+        inv.set("NOPE", TruePred())
+    with pytest.raises(KeyError):
+        inv.set(Edge("R1", "NOPE"), TruePred())
+    with pytest.raises(KeyError):
+        inv.set("ISP1", TruePred())  # externals are not routers
+    with pytest.raises(TypeError):
+        inv.set(42, TruePred())  # type: ignore[arg-type]
+
+
+def test_invariant_copy_is_independent():
+    config = build_figure1()
+    inv = InvariantMap(config.topology, default=TruePred())
+    clone = inv.copy()
+    clone.set("R1", FalsePred())
+    assert isinstance(inv.get("R1"), TruePred)
+
+
+def test_invariant_set_many():
+    config = build_figure1()
+    inv = InvariantMap(config.topology)
+    inv.set_many(["R1", "R2"], FalsePred())
+    assert isinstance(inv.get("R1"), FalsePred)
+    assert isinstance(inv.get("R2"), FalsePred)
+
+
+def test_liveness_property_shape_validation():
+    with pytest.raises(ValueError):
+        LivenessProperty(
+            location="R2",
+            predicate=TruePred(),
+            path=("R1",),
+            constraints=(TruePred(), TruePred()),
+        )
+    with pytest.raises(ValueError):
+        LivenessProperty(
+            location="R2",
+            predicate=TruePred(),
+            path=("R1",),
+            constraints=(TruePred(),),
+        )  # path must end at the property location
+    with pytest.raises(ValueError):
+        LivenessProperty(
+            location="R2", predicate=TruePred(), path=(), constraints=()
+        )
+
+
+def test_liveness_property_topological_validation():
+    config = build_figure1()
+    prop = LivenessProperty(
+        location="R2",
+        predicate=TruePred(),
+        path=("R1", Edge("R1", "ISP1"), "R2"),  # ISP1 edge doesn't lead to R2
+        constraints=(TruePred(),) * 3,
+    )
+    with pytest.raises(ValueError):
+        prop.validate_against(config.topology)
+
+
+def test_property_str_rendering():
+    prop = SafetyProperty("R1", TruePred(), name="demo")
+    assert "demo" in str(prop)
+    assert "R1" in str(prop)

@@ -1,0 +1,160 @@
+"""Tests for the canned property templates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.policy import (
+    AddCommunity,
+    Disposition,
+    MatchCommunity,
+    MatchPrefix,
+    RouteMap,
+    RouteMapClause,
+    SetLocalPref,
+)
+from repro.bgp.prefix import Prefix, PrefixRange
+from repro.bgp.route import Community
+from repro.bgp.topology import Edge
+from repro.core.safety import verify_safety_family
+from repro.core.templates import (
+    attribute_bound,
+    bogon_filtering,
+    isolation,
+    no_transit,
+)
+from repro.lang.predicates import LocalPrefIn
+from repro.workloads.figure1 import TRANSIT_COMMUNITY, build_figure1
+from repro.workloads.fullmesh import build_full_mesh
+from repro.workloads.wan import BOGON_PREFIXES, build_wan
+
+
+def _run(config, problem):
+    return verify_safety_family(
+        config, problem.properties, problem.invariants, ghosts=problem.ghosts
+    )
+
+
+def test_no_transit_template_matches_manual_setup():
+    config = build_figure1()
+    problem = no_transit(
+        config, [Edge("ISP1", "R1")], Edge("R2", "ISP2"), TRANSIT_COMMUNITY
+    )
+    report = _run(config, problem)
+    assert report.passed
+
+
+def test_no_transit_template_catches_bug():
+    config = build_figure1(buggy_r1_tagging=True)
+    problem = no_transit(
+        config, [Edge("ISP1", "R1")], Edge("R2", "ISP2"), TRANSIT_COMMUNITY
+    )
+    report = _run(config, problem)
+    assert not report.passed
+    assert {f.blamed_router for f in report.failures} == {"R1"}
+
+
+def test_isolation_template_protects_multiple_locations():
+    config = build_full_mesh(5)
+    # E1 routes (tagged 100:1 by R1's import) must not reach E2 *or* E3.
+    # First give R3 the same protective export filter R2 has.
+    e3_out = RouteMap(
+        "E3-OUT",
+        (
+            RouteMapClause(
+                10,
+                Disposition.DENY,
+                matches=(MatchCommunity(Community(100, 1)),),
+            ),
+            RouteMapClause(20),
+        ),
+    )
+    config.routers["R3"].neighbors["E3"].export_map = e3_out
+    problem = isolation(
+        config,
+        [Edge("E1", "R1")],
+        [Edge("R2", "E2"), Edge("R3", "E3")],
+        Community(100, 1),
+    )
+    assert len(problem.properties) == 2
+    report = _run(config, problem)
+    assert report.passed
+
+
+def test_isolation_fails_without_protection():
+    config = build_full_mesh(5)
+    # R3 has no protective export: routes from E1 CAN reach E3.
+    problem = isolation(
+        config,
+        [Edge("E1", "R1")],
+        [Edge("R3", "E3")],
+        Community(100, 1),
+    )
+    report = _run(config, problem)
+    assert not report.passed
+    assert {f.blamed_router for f in report.failures} == {"R3"}
+
+
+def test_isolation_requires_protected_locations():
+    config = build_full_mesh(3)
+    with pytest.raises(ValueError):
+        isolation(config, [Edge("E1", "R1")], [], Community(100, 1))
+
+
+def test_bogon_filtering_template_on_wan():
+    wan = build_wan(regions=2, routers_per_region=2)
+    untrusted = [Edge(peer, router) for peer, router in wan.peers.items()]
+    problem = bogon_filtering(wan.config, untrusted, BOGON_PREFIXES)
+    report = _run(wan.config, problem)
+    assert report.passed
+
+
+def test_bogon_filtering_template_catches_buggy_router():
+    wan = build_wan(regions=2, routers_per_region=2, buggy_edge_router="W0-0")
+    untrusted = [Edge(peer, router) for peer, router in wan.peers.items()]
+    problem = bogon_filtering(wan.config, untrusted, BOGON_PREFIXES)
+    report = _run(wan.config, problem)
+    assert not report.passed
+    assert {f.blamed_router for f in report.failures} == {"W0-0"}
+
+
+def test_attribute_bound_template():
+    # Build a network where routes for 30.0.0.0/8 always get local-pref 200
+    # at the border, and verify the bound network-wide.
+    config = build_figure1()
+    special = PrefixRange(Prefix.parse("30.0.0.0/8"), 8, 24)
+    for router, peer in (("R1", "ISP1"), ("R2", "ISP2"), ("R3", "Customer")):
+        old = config.routers[router].neighbors[peer].import_map
+        boost = RouteMapClause(
+            0,
+            matches=(MatchPrefix((special,)),),
+            actions=(SetLocalPref(200),)
+            + (old.clauses[-1].actions if old and router == "R1" else ()),
+        )
+        clauses = (boost,) + (old.clauses if old else (RouteMapClause(10),))
+        config.routers[router].neighbors[peer].import_map = RouteMap(
+            f"{peer}-IN2", clauses
+        )
+    problem = attribute_bound(config, [special], LocalPrefIn(200, 200))
+    report = _run(config, problem)
+    assert report.passed, "\n".join(f.explain() for f in report.failures)
+
+
+def test_attribute_bound_detects_violating_filter():
+    config = build_figure1()
+    special = PrefixRange(Prefix.parse("30.0.0.0/8"), 8, 24)
+    # No filter establishes the bound: the external imports must fail.
+    problem = attribute_bound(config, [special], LocalPrefIn(200, 200))
+    report = _run(config, problem)
+    assert not report.passed
+
+
+def test_attribute_bound_requires_locations():
+    config = build_figure1()
+    with pytest.raises(ValueError):
+        attribute_bound(
+            config,
+            [PrefixRange(Prefix.parse("30.0.0.0/8"), 8, 24)],
+            LocalPrefIn(1, 2),
+            locations=[],
+        )

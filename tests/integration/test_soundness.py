@@ -1,0 +1,212 @@
+"""Cross-validation of the paper's soundness theorems against the simulator.
+
+The §4.3 theorem: if all local checks pass, every valid trace satisfies the
+property — for *all* external announcements and *arbitrary* failures.  The
+simulator produces valid traces, so we verify a property once, then throw
+randomized announcements and link failures at the network and assert that
+no simulated trace ever violates it.
+
+The §5.3 theorem: if the liveness checks pass, the assumed route is
+announced, and no path link fails, the property route arrives.  We assert
+exactly that, including the "failures elsewhere are tolerated" clause.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Community, Route
+from repro.bgp.simulator import EventKind, Simulator
+from repro.bgp.topology import Edge
+from repro.core.safety import verify_safety
+from repro.core.liveness import verify_liveness
+from repro.workloads.figure1 import (
+    CUSTOMER_PREFIX,
+    TRANSIT_COMMUNITY,
+    build_figure1,
+)
+
+from tests.core.conftest import (
+    customer_liveness_property,
+    customer_prefixes,
+    no_transit_invariants,
+    no_transit_property,
+)
+from tests.core.conftest import no_transit_property as _prop
+
+
+# The verified network (checked once at import).
+_CONFIG = build_figure1()
+_GHOST = None
+
+
+def _verified_once():
+    global _GHOST
+    if _GHOST is None:
+        from repro.lang.ghost import GhostAttribute
+
+        _GHOST = GhostAttribute.source_tracker(
+            "FromISP1", _CONFIG.topology, [Edge("ISP1", "R1")]
+        )
+        report = verify_safety(
+            _CONFIG,
+            no_transit_property(),
+            no_transit_invariants(_CONFIG),
+            ghosts=(_GHOST,),
+        )
+        assert report.passed
+    return _CONFIG
+
+
+@st.composite
+def announcements(draw):
+    """Arbitrary external announcements, with ISP1's prefixes marked.
+
+    The ghost FromISP1 is semantic; in simulation we realise it by giving
+    ISP1 a dedicated prefix pool so "route from ISP1" is observable.
+    """
+    isp1_pool = Prefix.parse("50.0.0.0/8")
+    other_pool = Prefix.parse("60.0.0.0/8")
+    cust_pool = CUSTOMER_PREFIX
+
+    def routes(pool, max_n=2):
+        subs = list(pool.subprefixes(12))[:8]
+        chosen = draw(st.lists(st.sampled_from(subs), max_size=max_n))
+        return [
+            Route(
+                prefix=p,
+                med=draw(st.integers(0, 50)),
+                local_pref=draw(st.integers(50, 200)),
+                communities=frozenset(
+                    draw(st.sets(st.sampled_from([TRANSIT_COMMUNITY, Community(9, 9)])))
+                ),
+            )
+            for p in chosen
+        ]
+
+    return {
+        "ISP1": routes(isp1_pool),
+        "ISP2": routes(other_pool),
+        "Customer": routes(cust_pool),
+    }
+
+
+@st.composite
+def failure_sets(draw):
+    all_edges = sorted(_CONFIG.topology.edges)
+    failed = draw(st.sets(st.sampled_from(all_edges), max_size=4))
+    return set(failed)
+
+
+@settings(max_examples=60, deadline=None)
+@given(announcements(), failure_sets())
+def test_verified_safety_holds_on_all_simulated_traces(annc, failures):
+    """No ISP1-originated prefix ever crosses R2->ISP2, under any
+    announcements and any link failures."""
+    config = _verified_once()
+    sim = Simulator(config, failed_edges=failures)
+    result = sim.run(annc)
+    isp1_prefixes = {r.prefix for r in annc["ISP1"]}
+    for event in result.events:
+        if event.location == Edge("R2", "ISP2") and event.kind is EventKind.FRWD:
+            assert event.route.prefix not in isp1_prefixes, (
+                f"ISP1 route {event.route} leaked to ISP2 "
+                f"(failures={failures})"
+            )
+
+
+@settings(max_examples=60, deadline=None)
+@given(announcements(), failure_sets())
+def test_verified_invariant_holds_inside_network(annc, failures):
+    """The key invariant (ISP1 routes are tagged 100:1) holds at every
+    internal location in every simulated trace."""
+    config = _verified_once()
+    result = Simulator(config, failed_edges=failures).run(annc)
+    isp1_prefixes = {r.prefix for r in annc["ISP1"]}
+    # ISP2/Customer may announce the same prefixes; only blame ISP1 for
+    # prefixes no one else announced.
+    exclusive = isp1_prefixes - {
+        r.prefix for ext in ("ISP2", "Customer") for r in annc[ext]
+    }
+    for event in result.events:
+        if event.kind is EventKind.SLCT and event.route.prefix in exclusive:
+            assert TRANSIT_COMMUNITY in event.route.communities
+
+
+_LIVENESS_VERIFIED = False
+
+
+def _liveness_verified_once():
+    global _LIVENESS_VERIFIED
+    if not _LIVENESS_VERIFIED:
+        report = verify_liveness(_CONFIG, customer_liveness_property())
+        assert report.passed
+        _LIVENESS_VERIFIED = True
+    return _CONFIG
+
+
+def _good_customer_route() -> Route:
+    return Route(prefix=Prefix.parse("20.1.0.0/16"))
+
+
+def test_liveness_holds_with_no_failures():
+    config = _liveness_verified_once()
+    result = Simulator(config).run({"Customer": [_good_customer_route()]})
+    out = result.routes_forwarded_on(Edge("R2", "ISP2"))
+    assert any(customer_prefixes().holds(r) for r in out)
+
+
+def test_liveness_holds_despite_off_path_failures():
+    # The §5.3 theorem tolerates failures off the witness path.  Fail every
+    # edge not on Customer->R3->R2->ISP2.
+    config = _liveness_verified_once()
+    path_edges = {
+        Edge("Customer", "R3"),
+        Edge("R3", "R2"),
+        Edge("R2", "ISP2"),
+    }
+    failures = set(config.topology.edges) - path_edges
+    result = Simulator(config, failed_edges=failures).run(
+        {"Customer": [_good_customer_route()]}
+    )
+    out = result.routes_forwarded_on(Edge("R2", "ISP2"))
+    assert any(customer_prefixes().holds(r) for r in out)
+
+
+def test_liveness_holds_under_interference():
+    # Competing announcements for the same prefix from ISPs must not block
+    # the property (they are filtered; the customer route still flows).
+    config = _liveness_verified_once()
+    result = Simulator(config).run(
+        {
+            "Customer": [_good_customer_route()],
+            "ISP2": [Route(prefix=Prefix.parse("60.0.0.0/8"))],
+            "ISP1": [Route(prefix=Prefix.parse("50.0.0.0/8"), local_pref=200)],
+        }
+    )
+    out = result.routes_forwarded_on(Edge("R2", "ISP2"))
+    assert any(customer_prefixes().holds(r) for r in out)
+
+
+def test_liveness_needs_path_links():
+    # Sanity (the theorem's precondition, not its conclusion): failing a
+    # path link does break delivery.
+    config = _liveness_verified_once()
+    result = Simulator(config, failed_edges={Edge("R3", "R2"), Edge("R3", "R1")}).run(
+        {"Customer": [_good_customer_route()]}
+    )
+    assert result.routes_forwarded_on(Edge("R2", "ISP2")) == []
+
+
+def test_buggy_network_violates_property_in_simulation():
+    # The converse direction: the configuration Lightyear rejects really
+    # does misbehave for some announcement.
+    config = build_figure1(buggy_r1_tagging=True)
+    leak = Route(prefix=Prefix.parse("50.0.0.0/8"), med=0)  # MED<=10: untagged
+    result = Simulator(config).run({"ISP1": [leak]})
+    out = result.routes_forwarded_on(Edge("R2", "ISP2"))
+    assert any(r.prefix == leak.prefix for r in out)

@@ -1,0 +1,186 @@
+"""Tests for the predicate DSL: symbolic and concrete interpretations agree."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import smt
+from repro.bgp.prefix import Prefix, PrefixRange
+from repro.bgp.route import Community, Route
+from repro.lang.predicates import (
+    AllOf,
+    AnyOf,
+    AsPathHas,
+    FalsePred,
+    GhostIs,
+    HasCommunity,
+    Implies,
+    LocalPrefIn,
+    MedIn,
+    Not,
+    PrefixIn,
+    TruePred,
+    prefix_projection,
+)
+from repro.lang.symroute import SymbolicRoute
+from repro.lang.universe import AttributeUniverse
+from repro.smt.solver import Model
+
+
+UNIVERSE = AttributeUniverse(
+    (Community(100, 1), Community(7, 7)), (100, 666), ("FromISP1", "FromRegion")
+)
+
+C1 = Community(100, 1)
+
+
+def _concrete_agreement(pred, route: Route) -> None:
+    """The symbolic term on a constant embedding equals the concrete answer."""
+    sym = SymbolicRoute.concrete(route, UNIVERSE)
+    term = pred.to_term(sym)
+    assert Model({}, {}).eval_bool(term) is pred.holds(route)
+
+
+ROUTES = [
+    Route(prefix=Prefix.parse("10.0.0.0/8")),
+    Route(prefix=Prefix.parse("10.1.0.0/16"), communities=frozenset({C1})),
+    Route(prefix=Prefix.parse("20.0.0.0/8"), as_path=(100, 666), med=30),
+    Route(prefix=Prefix.parse("0.0.0.0/0"), local_pref=250, ghost={"FromISP1": True}),
+    Route(prefix=Prefix.parse("172.16.5.0/24"), ghost={"FromRegion": True}, med=5),
+]
+
+PREDICATES = [
+    TruePred(),
+    FalsePred(),
+    HasCommunity(C1),
+    PrefixIn.under(Prefix.parse("10.0.0.0/8")),
+    PrefixIn.exact(Prefix.parse("10.1.0.0/16")),
+    PrefixIn((PrefixRange.parse("172.16.0.0/12 le 24"),)),
+    GhostIs("FromISP1"),
+    GhostIs("FromRegion", False),
+    AsPathHas(666),
+    LocalPrefIn(100, 200),
+    MedIn(0, 10),
+    Not(HasCommunity(C1)),
+    AllOf((HasCommunity(C1), MedIn(0, 50))),
+    AnyOf((AsPathHas(666), GhostIs("FromISP1"))),
+    Implies(GhostIs("FromISP1"), HasCommunity(C1)),
+]
+
+
+@pytest.mark.parametrize("route", ROUTES)
+@pytest.mark.parametrize("pred", PREDICATES, ids=lambda p: repr(p))
+def test_symbolic_matches_concrete(pred, route):
+    _concrete_agreement(pred, route)
+
+
+def test_combinator_operators():
+    p = HasCommunity(C1) & MedIn(0, 10)
+    assert isinstance(p, AllOf)
+    q = HasCommunity(C1) | MedIn(0, 10)
+    assert isinstance(q, AnyOf)
+    n = ~HasCommunity(C1)
+    assert isinstance(n, Not)
+    i = GhostIs("FromISP1").implies(HasCommunity(C1))
+    assert isinstance(i, Implies)
+
+
+def test_predicate_repr_is_readable():
+    pred = Implies(GhostIs("FromISP1"), HasCommunity(C1))
+    assert "FromISP1" in repr(pred)
+    assert "100:1" in repr(pred)
+
+
+def test_symbolic_satisfiability_of_predicates():
+    r = SymbolicRoute.fresh("r", UNIVERSE)
+    s = smt.Solver()
+    s.add(r.well_formed())
+    s.add(PrefixIn.under(Prefix.parse("10.0.0.0/8")).to_term(r))
+    s.add(Not(HasCommunity(C1)).to_term(r))
+    assert s.check() is smt.Result.SAT
+    route = r.evaluate(s.model())
+    assert Prefix.parse("10.0.0.0/8").contains(route.prefix)
+    assert C1 not in route.communities
+
+
+def test_unsat_contradictory_predicates():
+    r = SymbolicRoute.fresh("r", UNIVERSE)
+    s = smt.Solver()
+    s.add(HasCommunity(C1).to_term(r))
+    s.add(Not(HasCommunity(C1)).to_term(r))
+    assert s.check() is smt.Result.UNSAT
+
+
+# ---------------------------------------------------------------------------
+# prefix_projection
+# ---------------------------------------------------------------------------
+
+
+def test_projection_of_prefix_pred_is_exact():
+    pred = PrefixIn.under(Prefix.parse("10.0.0.0/8"))
+    assert prefix_projection(pred) == pred.ranges
+
+
+def test_projection_of_conjunction_uses_prefix_conjunct():
+    pred = AllOf((HasCommunity(C1), PrefixIn.exact(Prefix.parse("10.0.0.0/8"))))
+    ranges = prefix_projection(pred)
+    assert ranges is not None
+    assert ranges[0].prefix == Prefix.parse("10.0.0.0/8")
+
+
+def test_projection_of_disjunction_unions():
+    pred = AnyOf(
+        (
+            PrefixIn.exact(Prefix.parse("10.0.0.0/8")),
+            PrefixIn.exact(Prefix.parse("20.0.0.0/8")),
+        )
+    )
+    ranges = prefix_projection(pred)
+    assert len(ranges) == 2
+
+
+def test_projection_widens_to_all_when_unknown():
+    assert prefix_projection(HasCommunity(C1)) is None
+    assert prefix_projection(TruePred()) is None
+    assert prefix_projection(AnyOf((PrefixIn.exact(Prefix.parse("1.0.0.0/8")), TruePred()))) is None
+
+
+def test_projection_of_false_is_empty():
+    assert prefix_projection(FalsePred()) == ()
+
+
+def test_projection_is_sound_overapproximation():
+    # Every route satisfying the predicate has its prefix in the projection.
+    pred = AllOf((PrefixIn.under(Prefix.parse("10.0.0.0/8")), MedIn(0, 5)))
+    ranges = prefix_projection(pred)
+    for route in ROUTES:
+        if pred.holds(route):
+            assert any(r.matches(route.prefix) for r in ranges)
+
+
+@st.composite
+def routes(draw):
+    length = draw(st.integers(0, 32))
+    addr = draw(st.integers(0, 2**32 - 1))
+    mask = (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF if length else 0
+    comms = draw(st.sets(st.sampled_from([C1, Community(7, 7)])))
+    path = tuple(draw(st.lists(st.sampled_from([100, 666]), max_size=3)))
+    return Route(
+        prefix=Prefix(addr & mask, length),
+        communities=frozenset(comms),
+        as_path=path,
+        local_pref=draw(st.integers(0, 400)),
+        med=draw(st.integers(0, 100)),
+        ghost={
+            "FromISP1": draw(st.booleans()),
+            "FromRegion": draw(st.booleans()),
+        },
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(routes(), st.sampled_from(PREDICATES))
+def test_agreement_property(route, pred):
+    _concrete_agreement(pred, route)

@@ -1,0 +1,154 @@
+"""Tests for the attribute universe and symbolic routes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import smt
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Community, Route
+from repro.lang.symroute import SymbolicRoute
+from repro.lang.universe import AttributeUniverse
+from repro.smt.solver import Model
+from repro.workloads.figure1 import build_figure1
+from repro.workloads.wan import build_wan
+
+
+def test_universe_from_figure1_collects_community_and_asns():
+    config = build_figure1()
+    universe = AttributeUniverse.from_config(config)
+    assert Community(100, 1) in universe.communities
+    assert 65000 in universe.asns
+    assert {100, 200, 300} <= set(universe.asns)
+    assert universe.ghosts == ()
+
+
+def test_universe_extras_and_ghosts():
+    config = build_figure1()
+    universe = AttributeUniverse.from_config(
+        config,
+        extra_communities=(Community(9, 9),),
+        extra_asns=(666,),
+        ghosts=("FromISP1",),
+    )
+    assert Community(9, 9) in universe.communities
+    assert 666 in universe.asns
+    assert universe.ghosts == ("FromISP1",)
+
+
+def test_universe_deduplicates_and_sorts():
+    u = AttributeUniverse(
+        (Community(2, 2), Community(1, 1), Community(2, 2)), (5, 3, 5), ("b", "a")
+    )
+    assert u.communities == (Community(1, 1), Community(2, 2))
+    assert u.asns == (3, 5)
+    assert u.ghosts == ("a", "b")
+
+
+def test_universe_from_wan_includes_region_communities():
+    wan = build_wan(regions=2, routers_per_region=2)
+    universe = AttributeUniverse.from_config(wan.config)
+    from repro.workloads.wan import region_community
+
+    assert region_community(0) in universe.communities
+    assert region_community(1) in universe.communities
+
+
+def test_universe_require_raises_for_unknown():
+    u = AttributeUniverse((), (), ())
+    with pytest.raises(KeyError):
+        u.require_community(Community(1, 1))
+    with pytest.raises(KeyError):
+        u.require_asn(5)
+    with pytest.raises(KeyError):
+        u.require_ghost("X")
+
+
+def test_universe_extended():
+    u = AttributeUniverse((), (), ())
+    u2 = u.extended(communities=(Community(1, 1),), asns=(7,), ghosts=("g",))
+    assert u2.communities == (Community(1, 1),)
+    assert u2.asns == (7,)
+    assert u2.ghosts == ("g",)
+
+
+# ---------------------------------------------------------------------------
+# SymbolicRoute
+# ---------------------------------------------------------------------------
+
+UNIVERSE = AttributeUniverse(
+    (Community(100, 1), Community(200, 2)), (100, 65000), ("FromISP1",)
+)
+
+
+def test_fresh_route_fields_are_variables():
+    r = SymbolicRoute.fresh("r", UNIVERSE)
+    assert r.prefix_addr.width == 32
+    assert r.prefix_len.width == 6
+    assert set(r.communities) == set(UNIVERSE.communities)
+    assert set(r.as_path_members) == set(UNIVERSE.asns)
+    assert set(r.ghosts) == {"FromISP1"}
+
+
+def test_concrete_embedding_round_trips_through_empty_model():
+    route = Route(
+        prefix=Prefix.parse("10.1.0.0/16"),
+        as_path=(100,),
+        local_pref=150,
+        med=7,
+        communities=frozenset({Community(100, 1)}),
+        ghost={"FromISP1": True},
+    )
+    sym = SymbolicRoute.concrete(route, UNIVERSE)
+    model = Model({}, {})
+    back = sym.evaluate(model)
+    assert back.prefix == route.prefix
+    assert back.local_pref == 150
+    assert back.med == 7
+    assert back.communities == route.communities
+    assert back.as_path == (100,)
+    assert back.ghost_value("FromISP1") is True
+
+
+def test_well_formed_constrains_length():
+    r = SymbolicRoute.fresh("r", UNIVERSE)
+    s = smt.Solver()
+    s.add(r.well_formed())
+    s.add(smt.bv_eq(r.prefix_len, smt.bv_const(40, 6)))
+    assert s.check() is smt.Result.UNSAT
+
+
+def test_merge_selects_fields_by_condition():
+    a = SymbolicRoute.concrete(Route(prefix=Prefix.parse("1.0.0.0/8"), med=1), UNIVERSE)
+    b = SymbolicRoute.concrete(Route(prefix=Prefix.parse("2.0.0.0/8"), med=2), UNIVERSE)
+    cond = smt.bool_var("c")
+    merged = a.merge(cond, b)
+
+    s = smt.Solver()
+    s.add(cond)
+    s.add(smt.bv_eq(merged.med, smt.bv_const(1, 16)))
+    assert s.check() is smt.Result.SAT
+
+    s2 = smt.Solver()
+    s2.add(smt.not_(cond))
+    s2.add(smt.bv_eq(merged.med, smt.bv_const(1, 16)))
+    assert s2.check() is smt.Result.UNSAT
+
+
+def test_with_community_and_ghost_update():
+    r = SymbolicRoute.fresh("r", UNIVERSE)
+    r2 = r.with_community(Community(100, 1), smt.true())
+    assert r2.communities[Community(100, 1)] is smt.true()
+    assert r.communities[Community(100, 1)] is not smt.true()
+    r3 = r.with_ghost("FromISP1", smt.false())
+    assert r3.ghosts["FromISP1"] is smt.false()
+
+
+def test_field_access_outside_universe_raises():
+    r = SymbolicRoute.fresh("r", UNIVERSE)
+    with pytest.raises(KeyError):
+        r.community_term(Community(9, 9))
+    with pytest.raises(KeyError):
+        r.as_path_member_term(12345)
+    with pytest.raises(KeyError):
+        r.ghost_term("nope")

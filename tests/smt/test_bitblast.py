@@ -1,0 +1,137 @@
+"""Directed and exhaustive tests for the bit-blaster."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import smt
+from repro.smt.bitblast import Bitblaster
+from repro.smt.solver import Model
+from repro.smt.terms import BoolVar
+
+
+def _eval_with(term, assignments: dict[str, int], width: int):
+    """Evaluate a BV term by fixing variables through the solver."""
+    solver = smt.Solver()
+    for name, value in assignments.items():
+        solver.add(smt.bv_eq(smt.bv_var(name, width), smt.bv_const(value, width)))
+    out = smt.bv_var("__out", width)
+    solver.add(smt.bv_eq(out, term))
+    assert solver.check() is smt.Result.SAT
+    return solver.model().eval_bv(out)
+
+
+WIDTH = 3
+
+
+@pytest.mark.parametrize("a", range(8))
+@pytest.mark.parametrize("b", range(8))
+def test_adder_exhaustive_width3(a, b):
+    x, y = smt.bv_var("x", WIDTH), smt.bv_var("y", WIDTH)
+    got = _eval_with(smt.bv_add(x, y), {"x": a, "y": b}, WIDTH)
+    assert got == (a + b) % 8
+
+
+@pytest.mark.parametrize("a", range(8))
+@pytest.mark.parametrize("b", range(8))
+def test_ult_exhaustive_width3(a, b):
+    x, y = smt.bv_var("x", WIDTH), smt.bv_var("y", WIDTH)
+    solver = smt.Solver()
+    solver.add(smt.bv_eq(x, smt.bv_const(a, WIDTH)))
+    solver.add(smt.bv_eq(y, smt.bv_const(b, WIDTH)))
+    solver.add(smt.bv_ult(x, y))
+    expected = smt.Result.SAT if a < b else smt.Result.UNSAT
+    assert solver.check() is expected
+
+
+@pytest.mark.parametrize("a", range(8))
+@pytest.mark.parametrize("b", range(8))
+def test_ule_exhaustive_width3(a, b):
+    x, y = smt.bv_var("x", WIDTH), smt.bv_var("y", WIDTH)
+    solver = smt.Solver()
+    solver.add(smt.bv_eq(x, smt.bv_const(a, WIDTH)))
+    solver.add(smt.bv_eq(y, smt.bv_const(b, WIDTH)))
+    solver.add(smt.bv_ule(x, y))
+    expected = smt.Result.SAT if a <= b else smt.Result.UNSAT
+    assert solver.check() is expected
+
+
+def test_width_one_vectors():
+    x = smt.bv_var("bit", 1)
+    solver = smt.Solver()
+    solver.add(smt.bv_ult(x, smt.bv_const(1, 1)))
+    assert solver.check() is smt.Result.SAT
+    assert solver.model().eval_bv(x) == 0
+
+
+def test_bitblaster_names_bits_deterministically():
+    blaster = Bitblaster()
+    bits = blaster.blast_bv(smt.bv_var("v", 4))
+    assert [b.name for b in bits] == ["v!0", "v!1", "v!2", "v!3"]
+    again = blaster.blast_bv(smt.bv_var("v", 4))
+    assert bits == again  # memoised
+    assert smt.bv_var("v", 4) in blaster.bv_bits
+
+
+def test_bitblaster_rejects_unknown_nodes():
+    blaster = Bitblaster()
+    with pytest.raises(TypeError):
+        blaster.blast_bool(smt.bv_var("v", 4))
+    with pytest.raises(TypeError):
+        blaster.blast_bv(smt.bool_var("p"))
+
+
+def test_constant_bv_blasts_to_constants():
+    blaster = Bitblaster()
+    bits = blaster.blast_bv(smt.bv_const(0b101, 3))
+    values = [b is smt.true() for b in bits]
+    assert values == [True, False, True]
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(0, 255),
+    st.integers(0, 255),
+    st.sampled_from(["and", "or", "xor", "add", "not"]),
+)
+def test_bitwise_ops_width8(a, b, op):
+    x, y = smt.bv_var("x", 8), smt.bv_var("y", 8)
+    if op == "and":
+        term, expected = smt.bv_and(x, y), a & b
+    elif op == "or":
+        term, expected = smt.bv_or(x, y), a | b
+    elif op == "xor":
+        term, expected = smt.bv_xor(x, y), a ^ b
+    elif op == "add":
+        term, expected = smt.bv_add(x, y), (a + b) & 0xFF
+    else:
+        term, expected = smt.bv_not(x), ~a & 0xFF
+    got = _eval_with(term, {"x": a, "y": b}, 8)
+    assert got == expected
+
+
+def test_nested_ite_chain():
+    # The shape symbolic route-map execution produces: nested BvIte.
+    c1, c2 = smt.bool_var("c1"), smt.bool_var("c2")
+    term = smt.ite(c1, smt.bv_const(1, 8), smt.ite(c2, smt.bv_const(2, 8), smt.bv_const(3, 8)))
+    for v1, v2, expected in [
+        (True, True, 1),
+        (True, False, 1),
+        (False, True, 2),
+        (False, False, 3),
+    ]:
+        solver = smt.Solver()
+        solver.add(c1 if v1 else smt.not_(c1))
+        solver.add(c2 if v2 else smt.not_(c2))
+        solver.add(smt.bv_eq(term, smt.bv_const(expected, 8)))
+        assert solver.check() is smt.Result.SAT, (v1, v2, expected)
+        # And the wrong value is unsatisfiable.
+        solver2 = smt.Solver()
+        solver2.add(c1 if v1 else smt.not_(c1))
+        solver2.add(c2 if v2 else smt.not_(c2))
+        solver2.add(smt.bv_eq(term, smt.bv_const(expected % 3 + 1, 8)))
+        assert solver2.check() is smt.Result.UNSAT

@@ -1,0 +1,116 @@
+"""Tests for DIMACS CNF import/export."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt.dimacs import DimacsProblem, export_solver, parse_dimacs, to_dimacs
+from repro.smt.sat import SatSolver
+
+
+SAMPLE = """\
+c a tiny satisfiable instance
+p cnf 3 3
+1 -2 0
+2 3 0
+-1 0
+"""
+
+
+def test_parse_sample():
+    problem = parse_dimacs(SAMPLE)
+    assert problem.num_vars == 3
+    assert problem.clauses == [[1, -2], [2, 3], [-1]]
+
+
+def test_solve_sample():
+    sat, model = parse_dimacs(SAMPLE).solve()
+    assert sat
+    assert model[1] is False
+    assert model[2] is False  # 1 -2 forces -2 given -1
+    assert model[3] is True
+
+
+def test_unsat_instance():
+    text = "p cnf 1 2\n1 0\n-1 0\n"
+    sat, model = parse_dimacs(text).solve()
+    assert not sat
+    assert model is None
+
+
+def test_parse_multiline_clause_and_missing_trailing_zero():
+    text = "p cnf 3 1\n1 2\n3 0\np_extra_ignored? no"
+    with pytest.raises(ValueError):
+        parse_dimacs(text)
+    ok = "p cnf 3 1\n1 2\n3"
+    problem = parse_dimacs(ok)
+    assert problem.clauses == [[1, 2, 3]]
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "1 0",  # clause before header
+        "p cnf x y\n",  # malformed header
+        "p cnf 2 1\n5 0\n",  # literal out of range
+        "",  # no header at all
+    ],
+)
+def test_parse_errors(bad):
+    with pytest.raises(ValueError):
+        parse_dimacs(bad)
+
+
+def test_to_dimacs_roundtrip():
+    problem = parse_dimacs(SAMPLE)
+    text = to_dimacs(problem.num_vars, problem.clauses, comment="roundtrip\ntest")
+    again = parse_dimacs(text)
+    assert again.num_vars == problem.num_vars
+    assert again.clauses == problem.clauses
+    assert text.startswith("c roundtrip\nc test\n")
+
+
+def test_export_solver_preserves_units():
+    solver = SatSolver()
+    a, b = solver.new_var(), solver.new_var()
+    solver.add_clause([a])  # becomes a level-0 assignment, not a clause
+    solver.add_clause([-a, b])
+    text = export_solver(solver, comment="unit test")
+    problem = parse_dimacs(text)
+    sat, model = problem.solve()
+    assert sat
+    assert model[a] is True and model[b] is True
+
+
+@st.composite
+def random_cnf(draw):
+    num_vars = draw(st.integers(1, 5))
+    clauses = draw(
+        st.lists(
+            st.lists(
+                st.integers(1, num_vars).map(
+                    lambda v: v  # sign applied below
+                ),
+                min_size=1,
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    signed = [
+        [lit if draw(st.booleans()) else -lit for lit in clause] for clause in clauses
+    ]
+    return num_vars, signed
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_cnf())
+def test_roundtrip_preserves_satisfiability(instance):
+    num_vars, clauses = instance
+    direct = DimacsProblem(num_vars, [list(c) for c in clauses]).solve()[0]
+    text = to_dimacs(num_vars, clauses)
+    reparsed = parse_dimacs(text).solve()[0]
+    assert direct == reparsed

@@ -1,0 +1,170 @@
+"""Unit and property tests for the CDCL SAT core."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt.sat import SatSolver, _luby
+
+
+def test_empty_formula_is_sat():
+    s = SatSolver()
+    assert s.solve() is True
+
+
+def test_single_unit_clause():
+    s = SatSolver()
+    a = s.new_var()
+    assert s.add_clause([a])
+    assert s.solve() is True
+    assert s.value(a) is True
+
+
+def test_contradictory_units_unsat():
+    s = SatSolver()
+    a = s.new_var()
+    s.add_clause([a])
+    assert not s.add_clause([-a]) or s.solve() is False
+
+
+def test_implication_chain_propagates():
+    s = SatSolver()
+    xs = [s.new_var() for _ in range(20)]
+    s.add_clause([xs[0]])
+    for i in range(19):
+        s.add_clause([-xs[i], xs[i + 1]])
+    assert s.solve() is True
+    assert all(s.value(x) is True for x in xs)
+
+
+def test_simple_conflict_requires_learning():
+    s = SatSolver()
+    a, b, c = (s.new_var() for _ in range(3))
+    s.add_clause([a, b])
+    s.add_clause([a, -b])
+    s.add_clause([-a, c])
+    s.add_clause([-a, -c])
+    assert s.solve() is False
+
+
+def test_pigeonhole_3_into_2_unsat():
+    # p[i][j]: pigeon i in hole j.
+    s = SatSolver()
+    p = [[s.new_var() for _ in range(2)] for _ in range(3)]
+    for i in range(3):
+        s.add_clause([p[i][0], p[i][1]])
+    for j in range(2):
+        for i1, i2 in itertools.combinations(range(3), 2):
+            s.add_clause([-p[i1][j], -p[i2][j]])
+    assert s.solve() is False
+
+
+def test_pigeonhole_4_into_4_sat():
+    s = SatSolver()
+    n = 4
+    p = [[s.new_var() for _ in range(n)] for _ in range(n)]
+    for i in range(n):
+        s.add_clause(p[i])
+    for j in range(n):
+        for i1, i2 in itertools.combinations(range(n), 2):
+            s.add_clause([-p[i1][j], -p[i2][j]])
+    assert s.solve() is True
+    # Check the model is a valid assignment of pigeons to distinct holes.
+    holes = []
+    for i in range(n):
+        row = [j for j in range(n) if s.value(p[i][j])]
+        assert row
+        holes.append(row[0])
+
+
+def test_tautological_clause_ignored():
+    s = SatSolver()
+    a = s.new_var()
+    s.add_clause([a, -a])
+    assert s.solve() is True
+
+
+def test_duplicate_literals_collapse():
+    s = SatSolver()
+    a = s.new_var()
+    s.add_clause([a, a, a])
+    assert s.solve() is True
+    assert s.value(a) is True
+
+
+def test_assumptions_sat_and_unsat():
+    s = SatSolver()
+    a, b = s.new_var(), s.new_var()
+    s.add_clause([-a, b])
+    assert s.solve(assumptions=[a]) is True
+    assert s.value(b) is True
+    s.reset_trail()
+    s.add_clause([-b])
+    assert s.solve(assumptions=[a]) is False
+
+
+def test_conflict_budget_returns_none_or_answer():
+    s = SatSolver()
+    n = 8
+    p = [[s.new_var() for _ in range(n - 1)] for _ in range(n)]
+    for i in range(n):
+        s.add_clause(p[i])
+    for j in range(n - 1):
+        for i1, i2 in itertools.combinations(range(n), 2):
+            s.add_clause([-p[i1][j], -p[i2][j]])
+    result = s.solve(conflict_budget=5)
+    assert result is None or result is False
+
+
+def test_luby_sequence_prefix():
+    assert [_luby(i) for i in range(15)] == [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+
+
+def _brute_force(num_vars: int, clauses: list[list[int]]) -> bool:
+    for bits in itertools.product([False, True], repeat=num_vars):
+        ok = True
+        for clause in clauses:
+            if not any(bits[abs(l) - 1] == (l > 0) for l in clause):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+@st.composite
+def cnf_instances(draw):
+    num_vars = draw(st.integers(min_value=1, max_value=6))
+    num_clauses = draw(st.integers(min_value=1, max_value=14))
+    clauses = []
+    for _ in range(num_clauses):
+        width = draw(st.integers(min_value=1, max_value=3))
+        clause = [
+            draw(st.integers(min_value=1, max_value=num_vars))
+            * (1 if draw(st.booleans()) else -1)
+            for _ in range(width)
+        ]
+        clauses.append(clause)
+    return num_vars, clauses
+
+
+@settings(max_examples=150, deadline=None)
+@given(cnf_instances())
+def test_cdcl_matches_brute_force(instance):
+    num_vars, clauses = instance
+    s = SatSolver()
+    lits = [s.new_var() for _ in range(num_vars)]
+    assert all(abs(l) == i + 1 for i, l in enumerate(lits))
+    for clause in clauses:
+        s.add_clause(clause)
+    expected = _brute_force(num_vars, clauses)
+    got = s.solve()
+    assert got is expected
+    if got:
+        # The returned model must satisfy every clause.
+        for clause in clauses:
+            assert any(s.value(l) for l in clause)

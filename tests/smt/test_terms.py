@@ -1,0 +1,135 @@
+"""Tests for the term AST and smart constructors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.smt import terms as T
+
+
+def test_interning_gives_identity():
+    assert T.bool_var("x") is T.bool_var("x")
+    assert T.bv_var("p", 8) is T.bv_var("p", 8)
+    assert T.bv_const(3, 8) is T.bv_const(3, 8)
+    assert T.and_(T.bool_var("x"), T.bool_var("y")) is T.and_(
+        T.bool_var("x"), T.bool_var("y")
+    )
+
+
+def test_bv_const_wraps_modulo_width():
+    assert T.bv_const(256, 8).value == 0
+    assert T.bv_const(-1, 8).value == 255
+
+
+def test_not_folding():
+    x = T.bool_var("x")
+    assert T.not_(T.not_(x)) is x
+    assert T.not_(T.true()) is T.false()
+    assert T.not_(T.false()) is T.true()
+
+
+def test_and_flattening_and_units():
+    x, y, z = T.bool_var("x"), T.bool_var("y"), T.bool_var("z")
+    assert T.and_() is T.true()
+    assert T.and_(x) is x
+    assert T.and_(x, T.true()) is x
+    assert T.and_(x, T.false()) is T.false()
+    inner = T.and_(x, y)
+    flat = T.and_(inner, z)
+    assert isinstance(flat, T.And)
+    assert flat.args == (x, y, z)
+
+
+def test_and_contradiction_detected():
+    x = T.bool_var("x")
+    assert T.and_(x, T.not_(x)) is T.false()
+
+
+def test_or_duals():
+    x, y = T.bool_var("x"), T.bool_var("y")
+    assert T.or_() is T.false()
+    assert T.or_(x, T.true()) is T.true()
+    assert T.or_(x, T.false()) is x
+    assert T.or_(x, T.not_(x)) is T.true()
+    assert T.or_(T.or_(x, y), y) is T.or_(x, y)
+
+
+def test_implies_and_iff_folding():
+    x = T.bool_var("x")
+    assert T.implies(T.true(), x) is x
+    assert T.implies(T.false(), x) is T.true()
+    assert T.iff(x, x) is T.true()
+    assert T.iff(x, T.true()) is x
+    assert T.iff(x, T.false()) is T.not_(x)
+
+
+def test_ite_folding():
+    x, y, c = T.bool_var("x"), T.bool_var("y"), T.bool_var("c")
+    assert T.ite(T.true(), x, y) is x
+    assert T.ite(T.false(), x, y) is y
+    assert T.ite(c, x, x) is x
+    assert T.ite(c, T.true(), T.false()) is c
+    assert T.ite(c, T.false(), T.true()) is T.not_(c)
+
+
+def test_bv_ite_requires_matching_width():
+    c = T.bool_var("c")
+    with pytest.raises(TypeError):
+        T.ite(c, T.bv_var("a", 8), T.bv_var("b", 16))
+
+
+def test_bv_relations_fold_constants():
+    three = T.bv_const(3, 8)
+    five = T.bv_const(5, 8)
+    assert T.bv_eq(three, three) is T.true()
+    assert T.bv_eq(three, five) is T.false()
+    assert T.bv_ult(three, five) is T.true()
+    assert T.bv_ult(five, three) is T.false()
+    assert T.bv_ule(three, three) is T.true()
+    assert T.bv_uge(five, three) is T.true()
+
+
+def test_bv_bitwise_folding():
+    a = T.bv_var("a", 8)
+    zeros = T.bv_const(0, 8)
+    ones = T.bv_const(0xFF, 8)
+    assert T.bv_and(a, ones) is a
+    assert T.bv_and(a, zeros) is zeros
+    assert T.bv_or(a, zeros) is a
+    assert T.bv_or(a, ones) is ones
+    assert T.bv_add(a, zeros) is a
+    assert T.bv_not(T.bv_not(a)) is a
+    assert T.bv_and(T.bv_const(0b1100, 8), T.bv_const(0b1010, 8)).value == 0b1000
+
+
+def test_width_mismatch_raises():
+    with pytest.raises(TypeError):
+        T.bv_eq(T.bv_var("a", 8), T.bv_var("b", 16))
+    with pytest.raises(TypeError):
+        T.bv_and(T.bv_var("a", 8), T.bv_var("b", 4))
+
+
+def test_width_property_on_bool_raises():
+    with pytest.raises(TypeError):
+        __ = T.bool_var("x").width
+
+
+def test_or_of_term_and_its_negation_is_true():
+    shared = T.and_(T.bool_var("x"), T.bool_var("y"))
+    assert T.or_(shared, T.not_(shared)) is T.true()
+
+
+def test_term_size_counts_shared_nodes_once():
+    c = T.bool_var("c")
+    shared = T.and_(T.bool_var("x"), T.bool_var("y"))
+    term = T.Ite(c, shared, T.not_(shared))
+    # ite-node, c, shared and-node, not-node, x, y
+    assert T.term_size(term) == 6
+
+
+def test_bitvec_sort_cached_and_immutable():
+    assert T.BitVecSort(8) is T.BitVecSort(8)
+    with pytest.raises(ValueError):
+        T.BitVecSort(0)
+    with pytest.raises(AttributeError):
+        T.BitVecSort(8).width = 9

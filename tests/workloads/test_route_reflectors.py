@@ -1,0 +1,158 @@
+"""Route-reflector support: simulator rules and WAN-with-RR verification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.config import NeighborConfig, NetworkConfig, RouterConfig
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Route
+from repro.bgp.simulator import Simulator
+from repro.bgp.topology import Edge, Topology
+from repro.core.liveness import verify_liveness
+from repro.core.safety import verify_safety_family
+from repro.workloads.wan import build_wan
+from repro.workloads.wan_properties import (
+    ip_reuse_liveness_problem,
+    ip_reuse_safety_problem,
+    peering_problem,
+    peering_quality_predicates,
+)
+
+
+def _star_network(clients: int = 3) -> NetworkConfig:
+    """One route reflector RR with client routers C0..Cn, C0 has external E."""
+    topo = Topology()
+    topo.add_router("RR")
+    names = [f"C{i}" for i in range(clients)]
+    for c in names:
+        topo.add_router(c)
+        topo.add_peering("RR", c)
+    topo.add_external("E")
+    topo.add_peering(names[0], "E")
+
+    config = NetworkConfig(topo)
+    config.set_external_asn("E", 100)
+    rr = RouterConfig("RR", 65000, rr_clients=frozenset(names))
+    for c in names:
+        rr.add_neighbor(NeighborConfig(c, 65000))
+    config.add_router_config(rr)
+    for i, c in enumerate(names):
+        rc = RouterConfig(c, 65000)
+        rc.add_neighbor(NeighborConfig("RR", 65000))
+        if i == 0:
+            rc.add_neighbor(NeighborConfig("E", 100))
+        config.add_router_config(rc)
+    assert not config.validate()
+    return config
+
+
+def test_reflector_propagates_client_route_to_other_clients():
+    config = _star_network()
+    route = Route(prefix=Prefix.parse("99.0.0.0/8"))
+    result = Simulator(config).run({"E": [route]})
+    # C0 learns over eBGP, advertises to RR, RR reflects to C1 and C2.
+    for router in ("C0", "RR", "C1", "C2"):
+        assert result.selected(router, route.prefix) is not None, router
+
+
+def test_without_reflector_clients_route_stays_at_hub():
+    config = _star_network()
+    config.routers["RR"].rr_clients = frozenset()  # plain iBGP speaker
+    route = Route(prefix=Prefix.parse("99.0.0.0/8"))
+    result = Simulator(config).run({"E": [route]})
+    assert result.selected("RR", route.prefix) is not None
+    # The full-mesh rule stops re-advertisement at the hub.
+    assert result.selected("C1", route.prefix) is None
+    assert result.selected("C2", route.prefix) is None
+
+
+def test_rr_digest_differs_from_plain_router():
+    with_clients = RouterConfig("RR", 65000, rr_clients=frozenset({"C0"}))
+    without = RouterConfig("RR", 65000)
+    assert with_clients.digest() != without.digest()
+
+
+# ---------------------------------------------------------------------------
+# WAN with route-reflector regions
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def rr_wan():
+    return build_wan(
+        regions=3, routers_per_region=4, peers_per_edge=1, route_reflectors=True
+    )
+
+
+def test_rr_wan_topology_is_star(rr_wan):
+    topo = rr_wan.config.topology
+    members = rr_wan.routers_by_region[0]
+    # Clients peer only with the reflector inside the region.
+    assert topo.has_edge(members[0], members[1])
+    assert not topo.has_edge(members[1], members[2])
+    assert rr_wan.config.routers[members[0]].rr_clients == frozenset(members[1:])
+
+
+def test_rr_wan_reused_route_reaches_whole_region():
+    wan = build_wan(regions=2, routers_per_region=4, route_reflectors=True)
+    dc, attach = wan.dc_edge_into(0)
+    result = Simulator(wan.config).run({dc: [wan.reused_route()]})
+    prefix = wan.reused_route().prefix
+    for router in wan.routers_by_region[0]:
+        assert result.selected(router, prefix) is not None, router
+    for router in wan.routers_by_region[1]:
+        assert result.selected(router, prefix) is None, router
+
+
+def test_rr_wan_peering_properties_verify(rr_wan):
+    problem = peering_problem(
+        rr_wan, "no-bogons", peering_quality_predicates(rr_wan)["no-bogons"]
+    )
+    report = verify_safety_family(
+        rr_wan.config, problem.properties, problem.invariants, ghosts=(problem.ghost,)
+    )
+    assert report.passed
+
+
+def test_rr_wan_ip_reuse_safety_verifies(rr_wan):
+    problem = ip_reuse_safety_problem(rr_wan, region=1)
+    report = verify_safety_family(
+        rr_wan.config, problem.properties, problem.invariants, ghosts=(problem.ghost,)
+    )
+    assert report.passed, "\n".join(f.explain() for f in report.failures)
+
+
+def test_rr_wan_ip_reuse_liveness_goes_via_reflector(rr_wan):
+    # Target a client that is NOT adjacent to the DC attach router: the
+    # witness path must route through the region's reflector.
+    members = rr_wan.routers_by_region[0]
+    dc, attach = rr_wan.dc_edge_into(0)
+    target = next(m for m in members[1:] if m != attach)
+    problem = ip_reuse_liveness_problem(rr_wan, region=0, target_router=target)
+    assert members[0] in [l for l in problem.property.path if isinstance(l, str)]
+    report = verify_liveness(
+        rr_wan.config,
+        problem.property,
+        interference_invariants=problem.interference_invariants,
+        ghosts=(problem.ghost,),
+    )
+    assert report.passed, "\n".join(f.explain() for f in report.failures)
+
+
+def test_rr_wan_liveness_matches_simulation(rr_wan):
+    # The verified liveness property is realised by the simulator.
+    wan = build_wan(regions=2, routers_per_region=4, route_reflectors=True)
+    members = wan.routers_by_region[0]
+    dc, attach = wan.dc_edge_into(0)
+    target = next(m for m in members[1:] if m != attach)
+    problem = ip_reuse_liveness_problem(wan, region=0, target_router=target)
+    report = verify_liveness(
+        wan.config,
+        problem.property,
+        interference_invariants=problem.interference_invariants,
+        ghosts=(problem.ghost,),
+    )
+    assert report.passed
+    result = Simulator(wan.config).run({dc: [wan.reused_route()]})
+    assert result.selected(target, wan.reused_route().prefix) is not None
