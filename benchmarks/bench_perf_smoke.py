@@ -1,0 +1,56 @@
+"""Quick verification-throughput smoke benchmark (PR 1 trajectory anchor).
+
+One fullmesh N=25 no-transit safety sweep, discharged three ways:
+
+* ``serial`` — the default path: shared :class:`CheckSession` per owner
+  router, flattened SAT core;
+* ``jobs2``  — the process backend with two workers (falls back to the
+  serial path on hosts without process-pool support, so the number is a
+  lower bound on parallel benefit, never a failure);
+* ``thread`` — the legacy thread pool with a hermetic solver per check,
+  approximating the seed's per-check encoding cost.
+
+Run: ``pytest benchmarks/bench_perf_smoke.py --benchmark-only -s``
+
+``benchmarks/collect_results.py --json BENCH_PR1.json`` records the same
+sweep (plus the Figure 3d N=50 configuration) with seed-baseline
+comparisons for cross-PR tracking.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.safety import verify_safety
+
+from benchmarks.conftest import fullmesh_problem
+
+SMOKE_N = 25
+
+
+def _sweep(parallel=None, backend="auto"):
+    config, ghost, prop, invariants = fullmesh_problem(SMOKE_N)
+    report = verify_safety(
+        config, prop, invariants, ghosts=(ghost,), parallel=parallel, backend=backend
+    )
+    assert report.passed
+    return report
+
+
+@pytest.mark.parametrize(
+    "mode,parallel,backend",
+    [
+        ("serial", None, "auto"),
+        ("jobs2", 2, "process"),
+        ("thread", 2, "thread"),
+    ],
+)
+def test_perf_smoke_fullmesh(benchmark, mode, parallel, backend):
+    report = benchmark.pedantic(
+        lambda: _sweep(parallel=parallel, backend=backend), rounds=1, iterations=1
+    )
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["routers"] = SMOKE_N
+    benchmark.extra_info["num_checks"] = report.num_checks
+    benchmark.extra_info["solve_time_s"] = round(report.solve_time_s, 3)
+    benchmark.extra_info["total_time_s"] = round(report.wall_time_s, 3)

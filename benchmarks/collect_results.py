@@ -6,10 +6,18 @@ and prints markdown tables with the measured values.  Slower and more
 thorough than the pytest-benchmark suite; intended to be run manually:
 
     python benchmarks/collect_results.py
+
+``--json PATH`` instead records the verification-throughput baseline (the
+fullmesh N=50 Figure 3d configuration plus the N=25 smoke sweep, serial
+and process-parallel) as a JSON file — ``BENCH_PR1.json`` holds the PR 1
+numbers against the seed so later PRs have a trajectory to compare.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -27,6 +35,12 @@ from repro.workloads.wan_properties import (
     ip_reuse_liveness_problem,
     ip_reuse_safety_problem,
 )
+
+# Wall-clock seconds for the same sweeps at the seed commit (b218447,
+# per-check fresh encodings, no shared sessions, flat-dataclass SAT core),
+# measured on the PR 1 build machine (1 core, Python 3.11) as best-of-3.
+# Re-measure when moving to different hardware before comparing.
+SEED_BASELINE_WALL_S = {25: 0.271, 50: 1.187}
 
 
 def fig3a(sizes=(2, 4, 8, 12, 16)) -> None:
@@ -140,7 +154,83 @@ def table4(regions=6, routers_per_region=5, peers=3) -> None:
     )
 
 
+def perf_baseline(json_path: str, sizes=(25, 50), rounds: int = 3) -> dict:
+    """Measure the fullmesh safety sweeps and write a JSON trajectory record.
+
+    For each network size the sweep runs ``rounds`` times serially (shared
+    sessions) and once per extra backend; best-of wall times are compared
+    against :data:`SEED_BASELINE_WALL_S`.
+    """
+    jobs = os.cpu_count() or 1
+    record: dict = {
+        "benchmark": "fullmesh no-transit safety sweep (Fig. 3d configuration)",
+        "recorded_by": "benchmarks/collect_results.py --json",
+        "cpu_count": jobs,
+        "rounds": rounds,
+        "sweeps": [],
+    }
+    modes = [("serial", None, "auto")]
+    if jobs > 1:
+        # Only claim a process-backend measurement when one can actually
+        # run; with a single core run_checks takes the serial path and the
+        # number would misrepresent the backend.  (On restricted hosts the
+        # pool may still silently fall back to serial — then the two modes
+        # simply time the same path.)
+        modes.append((f"process_jobs{jobs}", jobs, "process"))
+    else:
+        record["note"] = (
+            "single-CPU host: process backend omitted (it would resolve to "
+            "the serial path); re-record on multi-core hardware for scaling"
+        )
+    for n in sizes:
+        timings: dict[str, float] = {}
+        for mode, parallel, backend in modes:
+            best = None
+            for __ in range(rounds):
+                config, ghost, prop, invariants = fullmesh_problem(n)
+                start = time.perf_counter()
+                report = verify_safety(
+                    config,
+                    prop,
+                    invariants,
+                    ghosts=(ghost,),
+                    parallel=parallel,
+                    backend=backend,
+                )
+                elapsed = time.perf_counter() - start
+                assert report.passed
+                best = elapsed if best is None else min(best, elapsed)
+            timings[mode] = round(best, 4)
+        seed_wall = SEED_BASELINE_WALL_S.get(n)
+        entry = {
+            "routers": n,
+            "num_checks": report.num_checks,
+            "wall_time_s": timings,
+            "seed_wall_time_s": seed_wall,
+        }
+        if seed_wall is not None:
+            entry["speedup_vs_seed"] = {
+                mode: round(seed_wall / wall, 2) for mode, wall in timings.items()
+            }
+        record["sweeps"].append(entry)
+    Path(json_path).write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="record the verification-throughput baseline as JSON "
+        "instead of printing the EXPERIMENTS.md tables",
+    )
+    args = parser.parse_args()
+    if args.json:
+        record = perf_baseline(args.json)
+        print(json.dumps(record, indent=2))
+        return
     print("# Measured results (regenerate with benchmarks/collect_results.py)")
     fig3a()
     fig3c()

@@ -10,6 +10,9 @@ Subcommands:
   Run every safety and liveness problem in a JSON spec file (see
   :mod:`repro.lang.specjson`) against the configuration.  Exits non-zero
   if any property fails, printing localised counterexamples.
+  ``--jobs N`` (or ``--jobs auto``) discharges independent local checks on
+  ``N`` worker processes, one chunk per router — the paper's per-device
+  deployment model; ``--jobs 1`` forces the serial path.
 
 * ``lightyear diff OLD NEW``
   Structurally compare two configurations and report which routers
@@ -17,7 +20,7 @@ Subcommands:
 
 Example::
 
-    lightyear verify network.cfg properties.json --parallel 4 --verbose
+    lightyear verify network.cfg properties.json --jobs auto --verbose
 """
 
 from __future__ import annotations
@@ -75,11 +78,33 @@ def _cmd_parse(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_jobs(value: str) -> int | str:
+    """``--jobs`` argument: a positive integer or the word ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(f"--jobs must be >= 1, got {jobs}")
+    return jobs
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     config = _load_config(args.config)
     spec = spec_from_json(Path(args.spec).read_text())
     ghosts = spec.build_ghosts(config.topology)
-    engine = Lightyear(config, ghosts=ghosts, parallel=args.parallel)
+    if args.jobs is not None:
+        # The process backend: real cores, chunked per owner router.
+        parallel, backend = args.jobs, "process"
+    elif args.parallel:
+        parallel, backend = args.parallel, "thread"
+    else:
+        parallel, backend = None, "auto"
+    engine = Lightyear(config, ghosts=ghosts, parallel=parallel, backend=backend)
 
     all_passed = True
     for sspec in spec.safety:
@@ -137,7 +162,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("config", help="configuration file (.txt dialect or .json)")
     p_verify.add_argument("spec", help="JSON verification spec")
     p_verify.add_argument(
-        "--parallel", type=int, default=None, help="thread-pool width for checks"
+        "--jobs",
+        type=_parse_jobs,
+        default=None,
+        metavar="N",
+        help="worker processes for checks: a count or 'auto' (= cpu count); "
+        "1 forces the serial path",
+    )
+    p_verify.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        help="legacy thread-pool width for checks (prefer --jobs)",
     )
     p_verify.add_argument(
         "--budget", type=int, default=None, help="per-check SAT conflict budget"

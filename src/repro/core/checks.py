@@ -4,6 +4,12 @@ Each :class:`LocalCheck` is one SMT query about a single filter on a single
 edge — the unit of Lightyear's scalability claim.  Checks carry enough
 metadata to localise a failure to the exact router, direction, and route
 map, and to render the violated implication.
+
+A check can be discharged hermetically (a fresh :class:`repro.smt.Solver`
+per query) or against a shared :class:`repro.smt.CheckSession`, which
+reuses the bit-blasted, Tseitin-encoded transfer-function fragments across
+the checks that share them — see :func:`repro.core.safety.run_checks`,
+which routes checks to one session per owner router.
 """
 
 from __future__ import annotations
@@ -54,23 +60,47 @@ class LocalCheck:
         universe: AttributeUniverse,
         ghosts: tuple[GhostAttribute, ...] = (),
         conflict_budget: int | None = None,
+        session: "smt.CheckSession | None" = None,
     ) -> "CheckOutcome":
-        """Discharge the check with the SMT solver."""
+        """Discharge the check with the SMT solver.
+
+        With ``session`` the query is solved under assumptions against the
+        session's shared clause database instead of a fresh encoding; the
+        outcome is identical either way.
+        """
         if self.kind in (CheckKind.IMPORT, CheckKind.PROPAGATE_IMPORT):
             return self._run_filter(
-                config, universe, ghosts, transfer_import, conflict_budget
+                config, universe, ghosts, transfer_import, conflict_budget, session
             )
         if self.kind in (CheckKind.EXPORT, CheckKind.PROPAGATE_EXPORT):
             return self._run_filter(
-                config, universe, ghosts, transfer_export, conflict_budget
+                config, universe, ghosts, transfer_export, conflict_budget, session
             )
         if self.kind is CheckKind.ORIGINATE:
-            return self._run_originate(config, universe, ghosts, conflict_budget)
+            return self._run_originate(config, universe, ghosts, conflict_budget, session)
         if self.kind is CheckKind.IMPLICATION:
-            return self._run_implication(universe, conflict_budget)
+            return self._run_implication(universe, conflict_budget, session)
         raise AssertionError(f"unhandled check kind {self.kind}")
 
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _discharge(
+        assertions: list,
+        conflict_budget: int | None,
+        session: "smt.CheckSession | None",
+    ) -> tuple["smt.Result", SolverStats, "smt.Model | None"]:
+        """Decide a conjunction; returns (result, stats, model-if-SAT)."""
+        if session is not None:
+            result = session.check(assertions, conflict_budget=conflict_budget)
+            model = session.model() if result is smt.Result.SAT else None
+            return result, session.stats, model
+        solver = smt.Solver()
+        for assertion in assertions:
+            solver.add(assertion)
+        result = solver.check(conflict_budget=conflict_budget)
+        model = solver.model() if result is smt.Result.SAT else None
+        return result, solver.stats, model
 
     def _run_filter(
         self,
@@ -79,30 +109,31 @@ class LocalCheck:
         ghosts: tuple[GhostAttribute, ...],
         transfer,
         conflict_budget: int | None,
+        session: "smt.CheckSession | None",
     ) -> "CheckOutcome":
         assert self.edge is not None
         route_in = SymbolicRoute.fresh("r", universe)
         accepted, route_out = transfer(config, self.edge, route_in, ghosts)
 
-        solver = smt.Solver()
-        solver.add(route_in.well_formed())
-        solver.add(self.assumption.to_term(route_in))
+        assertions = [route_in.well_formed(), self.assumption.to_term(route_in)]
         if self.kind in (CheckKind.PROPAGATE_IMPORT, CheckKind.PROPAGATE_EXPORT):
             # Propagation checks must prove acceptance: refute
             #   assumption(r) and (rejected or not goal(r')).
-            solver.add(smt.or_(smt.not_(accepted), smt.not_(self.goal.to_term(route_out))))
+            assertions.append(
+                smt.or_(smt.not_(accepted), smt.not_(self.goal.to_term(route_out)))
+            )
         else:
             # Safety checks only constrain accepted routes: refute
             #   assumption(r) and accepted and not goal(r').
-            solver.add(accepted)
-            solver.add(smt.not_(self.goal.to_term(route_out)))
-        result = solver.check(conflict_budget=conflict_budget)
+            assertions.append(accepted)
+            assertions.append(smt.not_(self.goal.to_term(route_out)))
+        result, stats, model = self._discharge(assertions, conflict_budget, session)
 
         if result is smt.Result.UNSAT:
-            return CheckOutcome(check=self, passed=True, stats=solver.stats)
+            return CheckOutcome(check=self, passed=True, stats=stats)
         if result is smt.Result.UNKNOWN:
-            return CheckOutcome(check=self, passed=False, stats=solver.stats, unknown=True)
-        model = solver.model()
+            return CheckOutcome(check=self, passed=False, stats=stats, unknown=True)
+        assert model is not None
         input_route = route_in.evaluate(model)
         rejected = not model.eval_bool(accepted)
         output_route = None if rejected else route_out.evaluate(model)
@@ -112,7 +143,7 @@ class LocalCheck:
             output_route=output_route,
             rejected=rejected,
         )
-        return CheckOutcome(check=self, passed=False, stats=solver.stats, failure=failure)
+        return CheckOutcome(check=self, passed=False, stats=stats, failure=failure)
 
     def _run_originate(
         self,
@@ -120,20 +151,22 @@ class LocalCheck:
         universe: AttributeUniverse,
         ghosts: tuple[GhostAttribute, ...],
         conflict_budget: int | None,
+        session: "smt.CheckSession | None",
     ) -> "CheckOutcome":
         assert self.edge is not None
         combined = SolverStats()
         for sym in symbolic_originated(config, self.edge, universe, ghosts):
-            solver = smt.Solver()
-            solver.add(smt.not_(self.goal.to_term(sym)))
-            result = solver.check(conflict_budget=conflict_budget)
-            combined = _merge_stats(combined, solver.stats)
+            result, stats, model = self._discharge(
+                [smt.not_(self.goal.to_term(sym))], conflict_budget, session
+            )
+            combined = _merge_stats(combined, stats)
             if result is smt.Result.UNKNOWN:
                 return CheckOutcome(check=self, passed=False, stats=combined, unknown=True)
             if result is smt.Result.SAT:
+                assert model is not None
                 failure = CheckFailure(
                     check=self,
-                    input_route=sym.evaluate(solver.model()),
+                    input_route=sym.evaluate(model),
                     output_route=None,
                     rejected=False,
                 )
@@ -143,25 +176,30 @@ class LocalCheck:
         return CheckOutcome(check=self, passed=True, stats=combined)
 
     def _run_implication(
-        self, universe: AttributeUniverse, conflict_budget: int | None
+        self,
+        universe: AttributeUniverse,
+        conflict_budget: int | None,
+        session: "smt.CheckSession | None",
     ) -> "CheckOutcome":
         route = SymbolicRoute.fresh("r", universe)
-        solver = smt.Solver()
-        solver.add(route.well_formed())
-        solver.add(self.assumption.to_term(route))
-        solver.add(smt.not_(self.goal.to_term(route)))
-        result = solver.check(conflict_budget=conflict_budget)
+        assertions = [
+            route.well_formed(),
+            self.assumption.to_term(route),
+            smt.not_(self.goal.to_term(route)),
+        ]
+        result, stats, model = self._discharge(assertions, conflict_budget, session)
         if result is smt.Result.UNSAT:
-            return CheckOutcome(check=self, passed=True, stats=solver.stats)
+            return CheckOutcome(check=self, passed=True, stats=stats)
         if result is smt.Result.UNKNOWN:
-            return CheckOutcome(check=self, passed=False, stats=solver.stats, unknown=True)
+            return CheckOutcome(check=self, passed=False, stats=stats, unknown=True)
+        assert model is not None
         failure = CheckFailure(
             check=self,
-            input_route=route.evaluate(solver.model()),
+            input_route=route.evaluate(model),
             output_route=None,
             rejected=False,
         )
-        return CheckOutcome(check=self, passed=False, stats=solver.stats, failure=failure)
+        return CheckOutcome(check=self, passed=False, stats=stats, failure=failure)
 
     def __str__(self) -> str:
         return self.description
@@ -176,6 +214,22 @@ class CheckOutcome:
     stats: SolverStats
     failure: CheckFailure | None = None
     unknown: bool = False
+
+
+def check_owner(check: LocalCheck) -> str | None:
+    """The router whose configuration the check's transfer function reads.
+
+    This is the unit of both incremental re-verification (a config edit to
+    router ``R`` invalidates exactly the checks owned by ``R``) and
+    parallel execution (the paper's deployment runs one process per device;
+    chunking by owner keeps each worker's shared encoding hot).
+    ``None`` marks checks that read only the invariants (implications).
+    """
+    if check.edge is None:
+        return None
+    if check.kind in (CheckKind.IMPORT, CheckKind.PROPAGATE_IMPORT):
+        return check.edge.dst
+    return check.edge.src
 
 
 def _merge_stats(a: SolverStats, b: SolverStats) -> SolverStats:

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.bgp.config import NetworkConfig
 from repro.core.liveness import LivenessReport, verify_liveness
 from repro.core.properties import InvariantMap, LivenessProperty, SafetyProperty
-from repro.core.safety import SafetyReport, verify_safety
+from repro.core.safety import BACKENDS, SafetyReport, verify_safety
 from repro.lang.ghost import GhostAttribute
 
 
@@ -47,21 +47,31 @@ class Lightyear:
     ghosts:
         Ghost-attribute definitions available to properties and invariants.
     parallel:
-        If > 1, run independent local checks on a thread pool.
+        Worker count for independent local checks: an integer, ``"auto"``
+        (one per core), or ``None``/``1`` for the serial path.
+    backend:
+        Execution strategy: ``"auto"``/``"process"`` run checks as worker
+        *processes* chunked by owner router (the paper's per-device model,
+        with a serial fallback), ``"serial"`` forces in-process execution,
+        ``"thread"`` keeps the legacy thread pool.
     """
 
     def __init__(
         self,
         config: NetworkConfig,
         ghosts: tuple[GhostAttribute, ...] = (),
-        parallel: int | None = None,
+        parallel: int | str | None = None,
+        backend: str = "auto",
     ) -> None:
         problems = config.validate()
         if problems:
             raise ValueError("invalid network configuration: " + "; ".join(problems))
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
         self.config = config
         self.ghosts = tuple(ghosts)
         self.parallel = parallel
+        self.backend = backend
         self.stats = EngineStats()
 
     def invariants(self, default=None) -> InvariantMap:
@@ -82,6 +92,7 @@ class Lightyear:
             ghosts=self.ghosts,
             parallel=self.parallel,
             conflict_budget=conflict_budget,
+            backend=self.backend,
         )
         self.stats.absorb(report)
         return report
@@ -100,6 +111,7 @@ class Lightyear:
             ghosts=self.ghosts,
             parallel=self.parallel,
             conflict_budget=conflict_budget,
+            backend=self.backend,
         )
         self.stats.absorb(report)
         return report

@@ -18,19 +18,15 @@ import time
 from dataclasses import dataclass
 
 from repro.bgp.config import NetworkConfig
-from repro.core.checks import CheckKind, CheckOutcome, LocalCheck, generate_safety_checks
+from repro.core.checks import (
+    CheckOutcome,
+    LocalCheck,
+    check_owner,
+    generate_safety_checks,
+)
 from repro.core.properties import InvariantMap, SafetyProperty
 from repro.core.safety import SafetyReport, build_universe, run_checks
 from repro.lang.ghost import GhostAttribute
-
-
-def _check_owner(check: LocalCheck) -> str | None:
-    """The router whose configuration the check's transfer function reads."""
-    if check.edge is None:
-        return None  # implication check: invariants only
-    if check.kind in (CheckKind.IMPORT, CheckKind.PROPAGATE_IMPORT):
-        return check.edge.dst
-    return check.edge.src
 
 
 def _check_key(check: LocalCheck) -> tuple:
@@ -67,10 +63,14 @@ class IncrementalVerifier:
         prop: SafetyProperty,
         invariants: InvariantMap,
         ghosts: tuple[GhostAttribute, ...] = (),
+        parallel: int | str | None = None,
+        backend: str = "auto",
     ) -> None:
         self.prop = prop
         self.invariants = invariants
         self.ghosts = tuple(ghosts)
+        self.parallel = parallel
+        self.backend = backend
         self._config = config
         self._outcomes: dict[tuple, CheckOutcome] = {}
         self._digests: dict[str, str] = {}
@@ -105,7 +105,7 @@ class IncrementalVerifier:
         cached: list[CheckOutcome] = []
         for check in checks:
             key = _check_key(check)
-            owner = _check_owner(check)
+            owner = check_owner(check)
             unchanged = (
                 not full
                 and key in self._outcomes
@@ -116,7 +116,14 @@ class IncrementalVerifier:
             else:
                 to_run.append(check)
 
-        fresh = run_checks(to_run, config, universe, self.ghosts)
+        fresh = run_checks(
+            to_run,
+            config,
+            universe,
+            self.ghosts,
+            parallel=self.parallel,
+            backend=self.backend,
+        )
         for check, outcome in zip(to_run, fresh):
             self._outcomes[_check_key(check)] = outcome
         self._digests = new_digests

@@ -170,8 +170,9 @@ def verify_liveness(
     prop: LivenessProperty,
     interference_invariants: dict[str, InvariantMap] | None = None,
     ghosts: tuple[GhostAttribute, ...] = (),
-    parallel: int | None = None,
+    parallel: int | str | None = None,
     conflict_budget: int | None = None,
+    backend: str = "auto",
 ) -> LivenessReport:
     """Verify a liveness property (the §5 pipeline).
 
@@ -194,7 +195,7 @@ def verify_liveness(
     propagation = generate_propagation_checks(config, prop)
     propagation_outcomes = run_checks(
         propagation, config, universe, ghosts, parallel=parallel,
-        conflict_budget=conflict_budget,
+        conflict_budget=conflict_budget, backend=backend,
     )
 
     implication = LocalCheck(
@@ -222,6 +223,7 @@ def verify_liveness(
             ghosts=ghosts,
             parallel=parallel,
             conflict_budget=conflict_budget,
+            backend=backend,
         )
 
     return LivenessReport(

@@ -1,0 +1,105 @@
+"""Process-parallel local-check execution.
+
+The paper's deployment discharges local checks as separate processes, one
+per device; this module is the reproduction of that execution model.  The
+driver chunks a check list by owner router (:func:`repro.core.checks.
+check_owner`), ships the immutable problem context — configuration,
+attribute universe, ghosts, conflict budget — to each worker exactly once
+through the pool initializer, and runs every chunk inside its own
+:class:`repro.smt.CheckSession` so the per-owner shared encoding stays hot
+within a worker.  Outcomes (including counterexamples) are plain picklable
+dataclasses and stream back tagged with their original index, so callers
+see results in input order regardless of scheduling.
+
+Process pools are not universally available (sandboxes without semaphores,
+restricted spawn semantics); :func:`run_checks_in_processes` returns
+``None`` in that case and the caller falls back to the serial session path,
+which computes identical outcomes.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.checks import check_owner
+from repro.smt.solver import CheckSession
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.bgp.config import NetworkConfig
+    from repro.core.checks import CheckOutcome, LocalCheck
+    from repro.lang.ghost import GhostAttribute
+    from repro.lang.universe import AttributeUniverse
+
+
+# Per-worker problem context, installed once by the pool initializer so the
+# (comparatively large) config/universe payload is not re-pickled per task.
+_WORKER_CONTEXT: tuple | None = None
+
+
+def _init_worker(
+    config: "NetworkConfig",
+    universe: "AttributeUniverse",
+    ghosts: tuple["GhostAttribute", ...],
+    conflict_budget: int | None,
+) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = (config, universe, ghosts, conflict_budget)
+
+
+def _run_chunk(
+    indexed_checks: list[tuple[int, "LocalCheck"]],
+) -> list[tuple[int, "CheckOutcome"]]:
+    """Discharge one owner's checks in this worker, sharing one session."""
+    assert _WORKER_CONTEXT is not None, "worker initializer did not run"
+    config, universe, ghosts, conflict_budget = _WORKER_CONTEXT
+    session = CheckSession()
+    return [
+        (index, check.run(config, universe, ghosts, conflict_budget, session=session))
+        for index, check in indexed_checks
+    ]
+
+
+def chunk_by_owner(
+    checks: Sequence["LocalCheck"],
+) -> list[list[tuple[int, "LocalCheck"]]]:
+    """Group (index, check) pairs by owner router, preserving first-seen order."""
+    groups: dict[str | None, list[tuple[int, "LocalCheck"]]] = {}
+    for index, check in enumerate(checks):
+        groups.setdefault(check_owner(check), []).append((index, check))
+    return list(groups.values())
+
+
+def run_checks_in_processes(
+    checks: Sequence["LocalCheck"],
+    config: "NetworkConfig",
+    universe: "AttributeUniverse",
+    ghosts: tuple["GhostAttribute", ...],
+    conflict_budget: int | None,
+    jobs: int,
+) -> "list[CheckOutcome] | None":
+    """Run checks on a process pool; None if no pool could be used.
+
+    Results come back in input order.  Failures of the *pool machinery*
+    (no semaphore support, broken workers, unpicklable payloads) degrade to
+    ``None`` so the caller can rerun serially; genuine exceptions raised by
+    a check itself still propagate.
+    """
+    chunks = chunk_by_owner(checks)
+    if not chunks:
+        return []
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(chunks)),
+            initializer=_init_worker,
+            initargs=(config, universe, ghosts, conflict_budget),
+        ) as pool:
+            outcomes: list["CheckOutcome | None"] = [None] * len(checks)
+            for pairs in pool.map(_run_chunk, chunks):
+                for index, outcome in pairs:
+                    outcomes[index] = outcome
+        return outcomes  # type: ignore[return-value]
+    except (OSError, BrokenProcessPool, pickle.PicklingError, EOFError, ImportError):
+        return None

@@ -6,10 +6,21 @@ plus the final ``I_l ⊆ P`` implication, discharge each independently, and
 aggregate results.  By the §4.3 theorem, if every check passes the property
 holds on all valid traces — for arbitrary external announcements and
 arbitrary node/link failures.
+
+Execution backends (:func:`run_checks`): the default serial path discharges
+checks through one shared :class:`repro.smt.CheckSession` per owner router,
+so the transfer-function encoding is built once per router instead of once
+per check.  With ``parallel`` > 1 the ``process`` backend mirrors the
+paper's deployment — checks chunked by owner router and discharged by a
+pool of worker *processes* (real cores, no GIL), with the problem context
+shipped once per worker — degrading to the serial path wherever process
+pools are unavailable.  A legacy ``thread`` backend remains for callers
+that want concurrent I/O without process semantics.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -19,13 +30,18 @@ from repro.core.checks import (
     CheckKind,
     CheckOutcome,
     LocalCheck,
+    check_owner,
     generate_safety_checks,
 )
 from repro.core.counterexample import CheckFailure
+from repro.core.parallel import run_checks_in_processes
 from repro.core.properties import InvariantMap, SafetyProperty
 from repro.lang.ghost import GhostAttribute
 from repro.lang.predicates import predicate_atoms
 from repro.lang.universe import AttributeUniverse
+from repro.smt.solver import CheckSession
+
+BACKENDS = ("auto", "serial", "process", "thread")
 
 
 @dataclass
@@ -107,29 +123,71 @@ def build_universe(
     )
 
 
+def resolve_jobs(parallel: int | str | None) -> int:
+    """Normalise a ``parallel`` request to a worker count (1 = serial).
+
+    Accepts ``None``/``0``/``1`` (serial), an integer, or the string
+    ``"auto"`` meaning one worker per available core.
+    """
+    if parallel is None:
+        return 1
+    if parallel == "auto":
+        return os.cpu_count() or 1
+    jobs = int(parallel)
+    if jobs < 0:
+        raise ValueError(f"parallel must be >= 0, got {parallel!r}")
+    return max(jobs, 1)
+
+
 def run_checks(
     checks: list[LocalCheck],
     config: NetworkConfig,
     universe: AttributeUniverse,
     ghosts: tuple[GhostAttribute, ...] = (),
-    parallel: int | None = None,
+    parallel: int | str | None = None,
     conflict_budget: int | None = None,
+    backend: str = "auto",
 ) -> list[CheckOutcome]:
-    """Discharge a list of checks, optionally with a thread pool.
+    """Discharge a list of checks; outcomes come back in input order.
 
-    Checks are independent, so they parallelise trivially; with CPython's
-    GIL the thread pool mostly demonstrates the property rather than
-    yielding wall-clock speedup — the paper's deployment runs checks as
-    separate processes per device.
+    Checks are independent, so they parallelise trivially.  ``parallel``
+    is the worker count (``"auto"`` = cpu count; ``None``/``1`` = serial);
+    ``backend`` picks the execution strategy:
+
+    * ``"auto"``/``"process"`` — worker processes, one chunk per owner
+      router, the paper's per-device model.  Falls back to serial (same
+      outcomes, deterministically ordered) if no pool can be created.
+    * ``"serial"`` — in-process, one shared :class:`CheckSession` per
+      owner router.
+    * ``"thread"`` — legacy thread pool, hermetic solver per check.
     """
-    if parallel and parallel > 1:
-        with ThreadPoolExecutor(max_workers=parallel) as pool:
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    jobs = resolve_jobs(parallel)
+    if jobs > 1 and backend in ("auto", "process"):
+        outcomes = run_checks_in_processes(
+            checks, config, universe, ghosts, conflict_budget, jobs
+        )
+        if outcomes is not None:
+            return outcomes
+    elif jobs > 1 and backend == "thread":
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
             return list(
                 pool.map(
                     lambda ch: ch.run(config, universe, ghosts, conflict_budget), checks
                 )
             )
-    return [check.run(config, universe, ghosts, conflict_budget) for check in checks]
+    sessions: dict[str | None, CheckSession] = {}
+    outcomes = []
+    for check in checks:
+        owner = check_owner(check)
+        session = sessions.get(owner)
+        if session is None:
+            session = sessions[owner] = CheckSession()
+        outcomes.append(
+            check.run(config, universe, ghosts, conflict_budget, session=session)
+        )
+    return outcomes
 
 
 def verify_safety(
@@ -138,8 +196,9 @@ def verify_safety(
     invariants: InvariantMap,
     ghosts: tuple[GhostAttribute, ...] = (),
     universe: AttributeUniverse | None = None,
-    parallel: int | None = None,
+    parallel: int | str | None = None,
     conflict_budget: int | None = None,
+    backend: str = "auto",
 ) -> SafetyReport:
     """Verify a safety property via local checks (the §4 pipeline)."""
     start = time.perf_counter()
@@ -147,7 +206,13 @@ def verify_safety(
         universe = build_universe(config, invariants, [prop.predicate], ghosts)
     checks = generate_safety_checks(config, invariants, prop.location, prop.predicate)
     outcomes = run_checks(
-        checks, config, universe, ghosts, parallel=parallel, conflict_budget=conflict_budget
+        checks,
+        config,
+        universe,
+        ghosts,
+        parallel=parallel,
+        conflict_budget=conflict_budget,
+        backend=backend,
     )
     return SafetyReport(
         property=prop,
@@ -161,8 +226,9 @@ def verify_safety_family(
     props: list[SafetyProperty],
     invariants: InvariantMap,
     ghosts: tuple[GhostAttribute, ...] = (),
-    parallel: int | None = None,
+    parallel: int | str | None = None,
     conflict_budget: int | None = None,
+    backend: str = "auto",
 ) -> SafetyReport:
     """Verify a family of safety properties sharing one invariant map.
 
@@ -196,7 +262,13 @@ def verify_safety_family(
             )
         )
     outcomes = run_checks(
-        checks, config, universe, ghosts, parallel=parallel, conflict_budget=conflict_budget
+        checks,
+        config,
+        universe,
+        ghosts,
+        parallel=parallel,
+        conflict_budget=conflict_budget,
+        backend=backend,
     )
     family_name = props[0].name or "family"
     summary_prop = SafetyProperty(

@@ -23,13 +23,13 @@ fields are ``ite`` terms over the original variables.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Mapping
+from typing import ClassVar, Mapping
 
 from repro import smt
 from repro.bgp.prefix import Prefix
 from repro.bgp.route import Community, Route
 from repro.lang.universe import AttributeUniverse
-from repro.smt.terms import Term
+from repro.smt.terms import Term, register_intern_dependent
 
 ADDR_WIDTH = 32
 LEN_WIDTH = 6
@@ -59,9 +59,30 @@ class SymbolicRoute:
     # Construction
     # ------------------------------------------------------------------
 
+    # fresh() is referentially transparent — the variables it mints are
+    # interned by name — so the instances themselves can be shared.  Local
+    # checks create the same "r" route thousands of times per sweep; the
+    # cache turns that into one dict hit per check.  It must die with the
+    # intern table: route fields compare by term identity.
+    _fresh_cache: ClassVar[dict[tuple[str, AttributeUniverse], "SymbolicRoute"]] = {}
+
     @classmethod
     def fresh(cls, name: str, universe: AttributeUniverse) -> "SymbolicRoute":
-        """A fully symbolic route; variable names are prefixed by ``name``."""
+        """A fully symbolic route; variable names are prefixed by ``name``.
+
+        Instances are cached per ``(name, universe)``: terms are interned,
+        so two calls would produce field-for-field identical routes anyway,
+        and every update method copies before mutating.
+        """
+        cached = cls._fresh_cache.get((name, universe))
+        if cached is not None:
+            return cached
+        route = cls._fresh_uncached(name, universe)
+        cls._fresh_cache[(name, universe)] = route
+        return route
+
+    @classmethod
+    def _fresh_uncached(cls, name: str, universe: AttributeUniverse) -> "SymbolicRoute":
         return cls(
             universe=universe,
             prefix_addr=smt.bv_var(f"{name}.addr", ADDR_WIDTH),
@@ -212,3 +233,6 @@ class SymbolicRoute:
             ),
             ghost={g: model.eval_bool(t) for g, t in self.ghosts.items()},
         )
+
+
+register_intern_dependent(SymbolicRoute._fresh_cache.clear)

@@ -68,7 +68,15 @@ from repro.smt.terms import (
     BOOL,
     BitVecSort,
 )
-from repro.smt.solver import Solver, Result, Model, SolverStats, prove, Counterexample
+from repro.smt.solver import (
+    CheckSession,
+    Counterexample,
+    Model,
+    Result,
+    Solver,
+    SolverStats,
+    prove,
+)
 
 __all__ = [
     "Term",
@@ -116,6 +124,7 @@ __all__ = [
     "BOOL",
     "BitVecSort",
     "Solver",
+    "CheckSession",
     "Result",
     "Model",
     "SolverStats",

@@ -5,6 +5,12 @@ bit-vector operations become per-bit boolean structure (ripple-carry for
 addition, a comparison chain for unsigned ordering).  The output contains
 only ``BoolVar``/``BoolConst``/``Not``/``And``/``Or``/``Ite`` nodes, ready
 for the Tseitin transform.
+
+The public entry points drive an explicit worklist over the term DAG, so
+deeply nested boolean chains cannot hit Python's recursion limit; the memo
+tables persist for the lifetime of the instance, letting a
+:class:`repro.smt.solver.CheckSession` lower shared fragments once across
+many checks.
 """
 
 from __future__ import annotations
@@ -21,15 +27,47 @@ class Bitblaster:
         self._bv_memo: dict[Term, tuple[Term, ...]] = {}
         self.bv_bits: dict[Term, tuple[Term, ...]] = {}
 
+    def _lower(self, root: Term) -> None:
+        """Memoise the lowering of ``root`` and every descendant, iteratively.
+
+        A node is lowered once all of its children are; the per-node
+        ``_blast_*_uncached`` bodies then find each child already cached, so
+        their recursion never exceeds depth one.
+        """
+        bool_memo = self._bool_memo
+        bv_memo = self._bv_memo
+        stack = [root]
+        while stack:
+            t = stack[-1]
+            memo = bool_memo if t.sort is T.BOOL else bv_memo
+            if t in memo:
+                stack.pop()
+                continue
+            missing = [
+                k
+                for k in t.children()
+                if k not in (bool_memo if k.sort is T.BOOL else bv_memo)
+            ]
+            if missing:
+                stack.extend(missing)
+                continue
+            memo[t] = (
+                self._blast_bool_uncached(t)
+                if t.sort is T.BOOL
+                else self._blast_bv_uncached(t)
+            )
+            stack.pop()
+
     def blast_bool(self, term: Term) -> Term:
         """Lower a boolean-sorted term; the result mentions no bit-vectors."""
+        if term.sort is not T.BOOL:
+            raise TypeError(f"blast_bool expects a boolean-sorted term, got {term!r}")
         memo = self._bool_memo
         cached = memo.get(term)
         if cached is not None:
             return cached
-        result = self._blast_bool_uncached(term)
-        memo[term] = result
-        return result
+        self._lower(term)
+        return memo[term]
 
     def _blast_bool_uncached(self, term: Term) -> Term:
         if isinstance(term, (T.BoolConst, T.BoolVar)):
@@ -67,13 +105,14 @@ class Bitblaster:
 
     def blast_bv(self, term: Term) -> tuple[Term, ...]:
         """Lower a bit-vector term to a tuple of boolean bits (LSB first)."""
+        if term.sort is T.BOOL:
+            raise TypeError(f"blast_bv expects a bit-vector-sorted term, got {term!r}")
         memo = self._bv_memo
         cached = memo.get(term)
         if cached is not None:
             return cached
-        result = self._blast_bv_uncached(term)
-        memo[term] = result
-        return result
+        self._lower(term)
+        return memo[term]
 
     def _blast_bv_uncached(self, term: Term) -> tuple[Term, ...]:
         if isinstance(term, T.BvVar):

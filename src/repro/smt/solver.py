@@ -1,17 +1,34 @@
 """Public solver facade: assertions in, SAT/UNSAT plus models out.
 
-``Solver`` collects term-level assertions, bit-blasts them, runs the Tseitin
-transform, and invokes the CDCL core.  ``Model`` evaluates *original* terms
-(including bit-vectors) against the SAT assignment so callers never see the
-bit-level encoding.  ``prove`` wraps the refutation idiom used throughout
-Lightyear: a check ``A => B`` passes iff ``A and not B`` is unsatisfiable.
+Two entry points share the same bit-blast → Tseitin → CDCL pipeline:
+
+* :class:`Solver` is the one-shot interface — collect assertions, build a
+  fresh encoding, decide it.  Simple and hermetic; used by the monolithic
+  Minesweeper baseline and anywhere a single query is discharged.
+* :class:`CheckSession` is the reusable interface Lightyear's local checks
+  go through.  A session keeps one SAT solver, one bit-blaster, and one
+  Tseitin encoder alive across many checks: the hash-consed term DAG means
+  structurally shared fragments (the symbolic route, the well-formedness
+  constraint, repeated transfer functions) are lowered and clause-encoded
+  exactly once, and each individual check is discharged with
+  ``solve(assumptions=...)`` against the accumulated clause database.
+  Soundness: the session never *asserts* a check's constraints — they enter
+  as assumption literals scoped to one solve — and every clause in the
+  database is a definitional Tseitin equivalence, so learnt clauses carry
+  over between checks without affecting any later answer.
+
+``Model`` evaluates *original* terms (including bit-vectors) against the
+SAT assignment so callers never see the bit-level encoding.  ``prove``
+wraps the refutation idiom used throughout Lightyear: a check ``A => B``
+passes iff ``A and not B`` is unsatisfiable.
 """
 
 from __future__ import annotations
 
 import enum
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
 
 from repro.smt import terms as T
 from repro.smt.bitblast import Bitblaster
@@ -28,7 +45,13 @@ class Result(enum.Enum):
 
 @dataclass
 class SolverStats:
-    """Size and timing data for one ``check()`` call."""
+    """Size and timing data for one ``check()`` call.
+
+    For a :class:`CheckSession` these are *marginal* figures: the variables
+    and clauses a check added on top of the session's shared encoding, and
+    the search effort of its own solve call.  That keeps the paper's
+    per-check-size claim (Fig. 3b) measurable under encoding reuse.
+    """
 
     num_vars: int = 0
     num_clauses: int = 0
@@ -62,59 +85,174 @@ class Model:
         return value
 
     def _eval(self, term: Term):
+        """Evaluate a term, memoised over the DAG.
+
+        Recursion is the fast path; if the DAG is deep enough to exhaust
+        the interpreter stack (counterexamples from very large policies),
+        evaluation restarts on an explicit worklist, reusing whatever the
+        recursive attempt already memoised.
+        """
         memo = self._memo
         if term in memo:
             return memo[term]
-        value = self._eval_uncached(term)
-        memo[term] = value
-        return value
+        try:
+            return self._eval_rec(term)
+        except RecursionError:
+            self._eval_iter(term)
+            return memo[term]
 
-    def _eval_uncached(self, term: Term):
+    def _eval_iter(self, term: Term) -> None:
+        memo = self._memo
+        stack = [term]
+        while stack:
+            t = stack[-1]
+            if t in memo:
+                stack.pop()
+                continue
+            missing = [k for k in t.children() if k not in memo]
+            if missing:
+                stack.extend(missing)
+                continue
+            memo[t] = self._eval_node(t)
+            stack.pop()
+
+    def _eval_node(self, term: Term):
+        """Evaluate one node whose children are already in the memo."""
+        memo = self._memo
         if isinstance(term, T.BoolConst):
             return term.value
         if isinstance(term, T.BoolVar):
             return self._bools.get(term, False)
         if isinstance(term, T.Not):
-            return not self._eval(term.arg)
+            return not memo[term.arg]
         if isinstance(term, T.And):
-            return all(self._eval(a) for a in term.args)
+            return all(memo[a] for a in term.args)
         if isinstance(term, T.Or):
-            return any(self._eval(a) for a in term.args)
+            return any(memo[a] for a in term.args)
         if isinstance(term, T.Ite):
-            return self._eval(term.then) if self._eval(term.cond) else self._eval(term.els)
+            return memo[term.then] if memo[term.cond] else memo[term.els]
         if isinstance(term, T.BvVar):
             return self._bvs.get(term, 0)
         if isinstance(term, T.BvConst):
             return term.value
         if isinstance(term, T.BvEq):
-            return self._eval(term.lhs) == self._eval(term.rhs)
+            return memo[term.lhs] == memo[term.rhs]
         if isinstance(term, T.BvUlt):
-            return self._eval(term.lhs) < self._eval(term.rhs)
+            return memo[term.lhs] < memo[term.rhs]
         if isinstance(term, T.BvUle):
-            return self._eval(term.lhs) <= self._eval(term.rhs)
+            return memo[term.lhs] <= memo[term.rhs]
         if isinstance(term, T.BvAnd):
-            return self._eval(term.lhs) & self._eval(term.rhs)
+            return memo[term.lhs] & memo[term.rhs]
         if isinstance(term, T.BvOr):
-            return self._eval(term.lhs) | self._eval(term.rhs)
+            return memo[term.lhs] | memo[term.rhs]
         if isinstance(term, T.BvXor):
-            return self._eval(term.lhs) ^ self._eval(term.rhs)
+            return memo[term.lhs] ^ memo[term.rhs]
         if isinstance(term, T.BvNot):
             mask = (1 << term.width) - 1
-            return ~self._eval(term.arg) & mask
+            return ~memo[term.arg] & mask
         if isinstance(term, T.BvAdd):
             mask = (1 << term.width) - 1
-            return (self._eval(term.lhs) + self._eval(term.rhs)) & mask
+            return (memo[term.lhs] + memo[term.rhs]) & mask
         if isinstance(term, T.BvIte):
-            return self._eval(term.then) if self._eval(term.cond) else self._eval(term.els)
+            return memo[term.then] if memo[term.cond] else memo[term.els]
         raise TypeError(f"cannot evaluate {term!r}")
+
+    def _eval_rec(self, term: Term):
+        memo = self._memo
+        if term in memo:
+            return memo[term]
+        value = self._eval_rec_uncached(term)
+        memo[term] = value
+        return value
+
+    def _eval_rec_uncached(self, term: Term):
+        if isinstance(term, T.BoolConst):
+            return term.value
+        if isinstance(term, T.BoolVar):
+            return self._bools.get(term, False)
+        if isinstance(term, T.Not):
+            return not self._eval_rec(term.arg)
+        if isinstance(term, T.And):
+            return all(self._eval_rec(a) for a in term.args)
+        if isinstance(term, T.Or):
+            return any(self._eval_rec(a) for a in term.args)
+        if isinstance(term, T.Ite):
+            return (
+                self._eval_rec(term.then)
+                if self._eval_rec(term.cond)
+                else self._eval_rec(term.els)
+            )
+        if isinstance(term, T.BvVar):
+            return self._bvs.get(term, 0)
+        if isinstance(term, T.BvConst):
+            return term.value
+        if isinstance(term, T.BvEq):
+            return self._eval_rec(term.lhs) == self._eval_rec(term.rhs)
+        if isinstance(term, T.BvUlt):
+            return self._eval_rec(term.lhs) < self._eval_rec(term.rhs)
+        if isinstance(term, T.BvUle):
+            return self._eval_rec(term.lhs) <= self._eval_rec(term.rhs)
+        if isinstance(term, T.BvAnd):
+            return self._eval_rec(term.lhs) & self._eval_rec(term.rhs)
+        if isinstance(term, T.BvOr):
+            return self._eval_rec(term.lhs) | self._eval_rec(term.rhs)
+        if isinstance(term, T.BvXor):
+            return self._eval_rec(term.lhs) ^ self._eval_rec(term.rhs)
+        if isinstance(term, T.BvNot):
+            mask = (1 << term.width) - 1
+            return ~self._eval_rec(term.arg) & mask
+        if isinstance(term, T.BvAdd):
+            mask = (1 << term.width) - 1
+            return (self._eval_rec(term.lhs) + self._eval_rec(term.rhs)) & mask
+        if isinstance(term, T.BvIte):
+            return (
+                self._eval_rec(term.then)
+                if self._eval_rec(term.cond)
+                else self._eval_rec(term.els)
+            )
+        raise TypeError(f"cannot evaluate {term!r}")
+
+
+def _extract_model(sat: SatSolver, tseitin: Tseitin, blaster: Bitblaster) -> Model:
+    """Read a term-level model out of the SAT assignment."""
+    assignment = sat.model()
+    bool_values: dict[Term, bool] = {}
+    for term, lit in tseitin._lit_memo.items():
+        if isinstance(term, T.BoolVar):
+            bool_values[term] = assignment.get(abs(lit), False) == (lit > 0)
+    bv_values: dict[Term, int] = {}
+    for bv, bits in blaster.bv_bits.items():
+        value = 0
+        for i, bit in enumerate(bits):
+            lit = tseitin._lit_memo.get(bit)
+            if lit is None:
+                continue
+            if assignment.get(abs(lit), False) == (lit > 0):
+                value |= 1 << i
+        bv_values[bv] = value
+    return Model(bool_values, bv_values)
+
+
+def _conjuncts(term: Term) -> Iterable[Term]:
+    """Split (possibly nested) top-level conjunctions, iteratively."""
+    if not isinstance(term, T.And):
+        yield term
+        return
+    stack: list[Term] = [term]
+    while stack:
+        t = stack.pop()
+        if isinstance(t, T.And):
+            stack.extend(t.args)
+        else:
+            yield t
 
 
 class Solver:
     """Collects assertions and decides their conjunction.
 
-    A fresh encoding is built per ``check()`` call; Lightyear's local checks
-    are small and independent, so incrementality across checks buys nothing
-    while complicating soundness.
+    A fresh encoding is built per ``check()`` call, which keeps one-shot
+    queries hermetic.  Lightyear's own local checks go through
+    :class:`CheckSession` instead, which shares the encoding across checks.
     """
 
     def __init__(self) -> None:
@@ -171,23 +309,100 @@ class Solver:
             return Result.UNKNOWN
         if not answer:
             return Result.UNSAT
+        self._model = _extract_model(sat, tseitin, blaster)
+        return Result.SAT
 
-        assignment = sat.model()
-        bool_values: dict[Term, bool] = {}
-        for term, lit in tseitin._lit_memo.items():
-            if isinstance(term, T.BoolVar):
-                bool_values[term] = assignment.get(abs(lit), False) == (lit > 0)
-        bv_values: dict[Term, int] = {}
-        for bv, bits in blaster.bv_bits.items():
-            value = 0
-            for i, bit in enumerate(bits):
-                lit = tseitin._lit_memo.get(bit)
-                if lit is None:
+    def model(self) -> Model:
+        if self._model is None:
+            raise RuntimeError("model() is only available after a SAT check()")
+        return self._model
+
+
+class CheckSession:
+    """A reusable encoding context for discharging many related checks.
+
+    Where :class:`Solver` rebuilds the term → Tseitin → CDCL pipeline per
+    query, a session keeps all three layers alive.  Each ``check(...)``
+    call lowers its assertions through the *shared* bit-blaster and Tseitin
+    encoder — hash-consed subterms that earlier checks already encoded cost
+    a dictionary hit, not fresh clauses — and then runs CDCL with the
+    top-level conjunct literals as assumptions.
+
+    The intended granularity is one session per owner router: all checks
+    reading one router's transfer functions share most of their encoding
+    (the symbolic input route, well-formedness, invariant predicates, and
+    frequently the transfer terms themselves).
+
+    ``stats`` after each ``check`` holds the marginal encoding size and the
+    solve effort of that check alone, mirroring ``Solver.stats``.
+    """
+
+    def __init__(self) -> None:
+        self._sat = SatSolver()
+        self._blaster = Bitblaster()
+        self._tseitin = Tseitin(self._sat)
+        self._model: Model | None = None
+        self.stats = SolverStats()
+        self.checks_discharged = 0
+
+    def check(
+        self,
+        assertions: Sequence[Term],
+        conflict_budget: int | None = None,
+    ) -> Result:
+        """Decide the conjunction of ``assertions`` under encoding reuse."""
+        self._model = None
+        sat = self._sat
+        # Encoding must happen at decision level 0; a previous SAT answer
+        # leaves the trail fully assigned.
+        sat.reset_trail()
+        build_start = time.perf_counter()
+        vars_before = sat.num_vars
+        clauses_before = sat.num_clauses_added
+        assumptions: list[int] = []
+        infeasible = False
+        for assertion in assertions:
+            if not assertion.is_bool:
+                raise TypeError(f"assertions must be boolean, got {assertion!r}")
+            lowered = self._blaster.blast_bool(assertion)
+            for conjunct in _conjuncts(lowered):
+                if conjunct is T.TRUE:
                     continue
-                if assignment.get(abs(lit), False) == (lit > 0):
-                    value |= 1 << i
-            bv_values[bv] = value
-        self._model = Model(bool_values, bv_values)
+                if conjunct is T.FALSE:
+                    infeasible = True
+                    continue
+                assumptions.append(self._tseitin.literal(conjunct))
+        build_time = time.perf_counter() - build_start
+        if not sat.ok:
+            # The clause database is purely definitional; it can only go
+            # unsat through API misuse.  Fail loudly rather than letting
+            # every subsequent check "pass" vacuously.
+            raise RuntimeError("CheckSession clause database became unsat")
+        self.stats = SolverStats(
+            num_vars=sat.num_vars - vars_before,
+            num_clauses=sat.num_clauses_added - clauses_before,
+            build_time_s=build_time,
+        )
+        self.checks_discharged += 1
+        if infeasible:
+            return Result.UNSAT
+        sat_before = replace(sat.stats)
+        solve_start = time.perf_counter()
+        answer = sat.solve(assumptions=assumptions, conflict_budget=conflict_budget)
+        self.stats.solve_time_s = time.perf_counter() - solve_start
+        self.stats.sat = SatStats(
+            decisions=sat.stats.decisions - sat_before.decisions,
+            propagations=sat.stats.propagations - sat_before.propagations,
+            conflicts=sat.stats.conflicts - sat_before.conflicts,
+            restarts=sat.stats.restarts - sat_before.restarts,
+            learned=sat.stats.learned - sat_before.learned,
+            max_learnt_len=sat.stats.max_learnt_len,
+        )
+        if answer is None:
+            return Result.UNKNOWN
+        if not answer:
+            return Result.UNSAT
+        self._model = _extract_model(sat, self._tseitin, self._blaster)
         return Result.SAT
 
     def model(self) -> Model:

@@ -67,9 +67,24 @@ def _intern(key: tuple, build) -> "Term":
     return term
 
 
+_intern_dependents: list = []
+
+
+def register_intern_dependent(clear_fn) -> None:
+    """Register a cache-clearing callback tied to the intern table's lifetime.
+
+    Caches that rely on term identity (e.g. the shared symbolic-route cache)
+    must be dropped together with the intern table, or stale instances would
+    stop comparing equal to newly built terms.
+    """
+    _intern_dependents.append(clear_fn)
+
+
 def clear_intern_cache() -> None:
     """Drop the global intern table (used by long-running benchmarks)."""
     _INTERN.clear()
+    for clear_fn in _intern_dependents:
+        clear_fn()
 
 
 class Term:

@@ -5,6 +5,13 @@ by the interned term constructors therefore translates directly into CNF
 sharing.  Top-level conjunctions are split instead of encoded, and top-level
 disjunctions become a single clause, which keeps the common
 "assert implication" pattern cheap.
+
+Both entry points are iterative (explicit worklists, no Python recursion),
+so arbitrarily deep ``And``/``Or``/``Not`` chains — e.g. from very large
+policies — cannot hit the interpreter's recursion limit.  The literal memo
+persists for the lifetime of the encoder, which is what lets a
+:class:`repro.smt.solver.CheckSession` encode a shared transfer-function
+fragment once and reuse its clauses across many checks.
 """
 
 from __future__ import annotations
@@ -26,19 +33,22 @@ class Tseitin:
 
     def assert_true(self, term: Term) -> None:
         """Add CNF clauses forcing ``term`` to hold."""
-        if term is T.TRUE:
-            return
-        if term is T.FALSE:
-            self.solver.ok = False
-            return
-        if isinstance(term, T.And):
-            for arg in term.args:
-                self.assert_true(arg)
-            return
-        if isinstance(term, T.Or):
-            self.solver.add_clause([self.literal(a) for a in term.args])
-            return
-        self.solver.add_clause([self.literal(term)])
+        solver = self.solver
+        worklist = [term]
+        while worklist:
+            t = worklist.pop()
+            if t is T.TRUE:
+                continue
+            if t is T.FALSE:
+                solver.ok = False
+                continue
+            if isinstance(t, T.And):
+                worklist.extend(t.args)
+                continue
+            if isinstance(t, T.Or):
+                solver.add_clause([self.literal(a) for a in t.args])
+                continue
+            solver.add_clause([self.literal(t)])
 
     def literal(self, term: Term) -> int:
         """Return a SAT literal equisatisfiably representing ``term``."""
@@ -46,9 +56,31 @@ class Tseitin:
         cached = memo.get(term)
         if cached is not None:
             return cached
-        lit = self._encode(term)
-        memo[term] = lit
-        return lit
+        # Post-order worklist: a node is encoded once every child it needs
+        # has a literal in the memo.
+        stack = [term]
+        while stack:
+            t = stack[-1]
+            if t in memo:
+                stack.pop()
+                continue
+            if isinstance(t, T.BoolConst):
+                true_lit = self._const_true()
+                memo[t] = true_lit if t.value else -true_lit
+                stack.pop()
+                continue
+            if isinstance(t, T.BoolVar):
+                memo[t] = self.solver.new_var()
+                stack.pop()
+                continue
+            kids = self._encode_children(t)
+            missing = [k for k in kids if k not in memo]
+            if missing:
+                stack.extend(missing)
+                continue
+            memo[t] = self._encode_node(t)
+            stack.pop()
+        return memo[term]
 
     # ------------------------------------------------------------------
 
@@ -58,33 +90,40 @@ class Tseitin:
             self.solver.add_clause([self._true_lit])
         return self._true_lit
 
-    def _encode(self, term: Term) -> int:
-        add = self.solver.add_clause
-        if isinstance(term, T.BoolConst):
-            t = self._const_true()
-            return t if term.value else -t
-        if isinstance(term, T.BoolVar):
-            return self.solver.new_var()
+    @staticmethod
+    def _encode_children(term: Term) -> tuple[Term, ...]:
         if isinstance(term, T.Not):
-            return -self.literal(term.arg)
+            return (term.arg,)
+        if isinstance(term, (T.And, T.Or)):
+            return term.args
+        if isinstance(term, T.Ite):
+            return (term.cond, term.then, term.els)
+        raise TypeError(f"Tseitin expects a bit-blasted boolean term, got {term!r}")
+
+    def _encode_node(self, term: Term) -> int:
+        """Encode one node whose children already have literals."""
+        memo = self._lit_memo
+        add = self.solver.add_clause
+        if isinstance(term, T.Not):
+            return -memo[term.arg]
         if isinstance(term, T.And):
-            lits = [self.literal(a) for a in term.args]
+            lits = [memo[a] for a in term.args]
             v = self.solver.new_var()
             for lit in lits:
                 add([-v, lit])
             add([v] + [-lit for lit in lits])
             return v
         if isinstance(term, T.Or):
-            lits = [self.literal(a) for a in term.args]
+            lits = [memo[a] for a in term.args]
             v = self.solver.new_var()
             for lit in lits:
                 add([v, -lit])
             add([-v] + lits)
             return v
         if isinstance(term, T.Ite):
-            c = self.literal(term.cond)
-            t = self.literal(term.then)
-            e = self.literal(term.els)
+            c = memo[term.cond]
+            t = memo[term.then]
+            e = memo[term.els]
             v = self.solver.new_var()
             add([-v, -c, t])
             add([-v, c, e])

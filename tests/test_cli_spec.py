@@ -208,6 +208,26 @@ def test_cli_error_on_missing_file(spec_file):
     assert main(["verify", "/nonexistent.cfg", spec_file]) == 2
 
 
+def test_cli_verify_with_jobs(config_file, spec_file, capsys):
+    assert main(["verify", config_file, spec_file, "--jobs", "2"]) == 0
+    assert "PASSED" in capsys.readouterr().out
+
+
+def test_cli_verify_with_jobs_auto_and_serial(config_file, spec_file, capsys):
+    assert main(["verify", config_file, spec_file, "--jobs", "auto"]) == 0
+    capsys.readouterr()
+    # --jobs 1 forces the serial path.
+    assert main(["verify", config_file, spec_file, "--jobs", "1"]) == 0
+    assert "PASSED" in capsys.readouterr().out
+
+
+def test_cli_rejects_bad_jobs(config_file, spec_file, capsys):
+    with pytest.raises(SystemExit):
+        main(["verify", config_file, spec_file, "--jobs", "zero"])
+    with pytest.raises(SystemExit):
+        main(["verify", config_file, spec_file, "--jobs", "0"])
+
+
 def test_cli_verbose_breakdown(config_file, spec_file, capsys):
     assert main(["verify", config_file, spec_file, "--verbose"]) == 0
     out = capsys.readouterr().out
