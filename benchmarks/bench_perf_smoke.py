@@ -22,6 +22,8 @@ from __future__ import annotations
 import pytest
 
 from repro.core.safety import verify_safety
+from repro.lang.predicates import predicate_term_cache_stats
+from repro.lang.transfer import reset_transfer_cache, transfer_cache_stats
 
 from benchmarks.conftest import fullmesh_problem
 
@@ -46,6 +48,7 @@ def _sweep(parallel=None, backend="auto"):
     ],
 )
 def test_perf_smoke_fullmesh(benchmark, mode, parallel, backend):
+    reset_transfer_cache()
     report = benchmark.pedantic(
         lambda: _sweep(parallel=parallel, backend=backend), rounds=1, iterations=1
     )
@@ -54,3 +57,18 @@ def test_perf_smoke_fullmesh(benchmark, mode, parallel, backend):
     benchmark.extra_info["num_checks"] = report.num_checks
     benchmark.extra_info["solve_time_s"] = round(report.solve_time_s, 3)
     benchmark.extra_info["total_time_s"] = round(report.wall_time_s, 3)
+    # Term-construction cache effectiveness (PR 2): transfer outputs and
+    # predicate lowering.  Note the counters are in-process — the process
+    # backend's workers keep their own caches, so jobs2 may read as 0/0.
+    transfer = transfer_cache_stats()
+    predicates = predicate_term_cache_stats()
+    benchmark.extra_info["transfer_cache"] = {
+        "hits": transfer.hits,
+        "misses": transfer.misses,
+        "hit_rate": round(transfer.hit_rate, 4),
+    }
+    benchmark.extra_info["predicate_term_cache"] = {
+        "hits": predicates.hits,
+        "misses": predicates.misses,
+        "hit_rate": round(predicates.hit_rate, 4),
+    }

@@ -18,11 +18,12 @@ from repro.core.liveness import verify_liveness
 from repro.core.safety import verify_safety_family
 from repro.workloads.wan import build_wan
 from repro.workloads.wan_properties import (
-    all_peering_problems,
     ip_reuse_liveness_problem,
     ip_reuse_safety_problem,
     peering_problem,
     peering_quality_predicates,
+    verify_ip_reuse_safety_problems,
+    verify_peering_problems,
 )
 
 
@@ -67,20 +68,15 @@ def test_table4a_bogon_filtering_large(benchmark, wan_large):
 
 
 def test_table4a_all_eleven_properties_large(benchmark, wan_large):
-    """§6.1: an automation running several properties back to back."""
+    """§6.1: an automation running several properties back to back.
+
+    Uses the hoisted runner (PR 2): one covering universe and one session
+    pool shared by all eleven families, so encodings built for the first
+    family are re-solved, not rebuilt, by the other ten.
+    """
 
     def run():
-        reports = []
-        for problem in all_peering_problems(wan_large):
-            reports.append(
-                verify_safety_family(
-                    wan_large.config,
-                    problem.properties,
-                    problem.invariants,
-                    ghosts=(problem.ghost,),
-                )
-            )
-        return reports
+        return [report for __, report in verify_peering_problems(wan_large)]
 
     reports = benchmark.pedantic(run, rounds=1, iterations=1)
     assert all(r.passed for r in reports)
@@ -109,18 +105,7 @@ def test_table4b_ip_reuse_safety_small(benchmark, wan_small):
 
 def test_table4b_ip_reuse_safety_all_regions_large(benchmark, wan_large):
     def run():
-        reports = []
-        for region in range(wan_large.regions):
-            problem = ip_reuse_safety_problem(wan_large, region)
-            reports.append(
-                verify_safety_family(
-                    wan_large.config,
-                    problem.properties,
-                    problem.invariants,
-                    ghosts=(problem.ghost,),
-                )
-            )
-        return reports
+        return [report for __, report in verify_ip_reuse_safety_problems(wan_large)]
 
     reports = benchmark.pedantic(run, rounds=1, iterations=1)
     assert all(r.passed for r in reports)

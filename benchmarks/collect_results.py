@@ -7,10 +7,12 @@ thorough than the pytest-benchmark suite; intended to be run manually:
 
     python benchmarks/collect_results.py
 
-``--json PATH`` instead records the verification-throughput baseline (the
+``--json PATH`` instead records the verification-throughput trajectory (the
 fullmesh N=50 Figure 3d configuration plus the N=25 smoke sweep, serial
-and process-parallel) as a JSON file — ``BENCH_PR1.json`` holds the PR 1
-numbers against the seed so later PRs have a trajectory to compare.
+and process-parallel, with term-cache counters, plus a single-router
+reverify micro-benchmark) as a JSON file — ``BENCH_PR1.json`` holds the
+PR 1 numbers against the seed, ``BENCH_PR2.json`` the PR 2 numbers against
+both, so later PRs have a trajectory to compare.
 """
 
 from __future__ import annotations
@@ -27,13 +29,18 @@ sys.path.insert(0, str(Path(__file__).parent))
 from conftest import fullmesh_problem
 
 from repro.baselines.minesweeper import MinesweeperVerifier
+from repro.bgp.policy import Disposition, MatchPrefix, RouteMap, RouteMapClause
+from repro.bgp.prefix import PrefixRange
+from repro.core.incremental import IncrementalVerifier
 from repro.core.liveness import verify_liveness
-from repro.core.safety import verify_safety, verify_safety_family
+from repro.core.safety import verify_safety
+from repro.lang.predicates import predicate_term_cache_stats
+from repro.lang.transfer import reset_transfer_cache, transfer_cache_stats
 from repro.workloads.wan import build_wan
 from repro.workloads.wan_properties import (
-    all_peering_problems,
     ip_reuse_liveness_problem,
-    ip_reuse_safety_problem,
+    verify_ip_reuse_safety_problems,
+    verify_peering_problems,
 )
 
 # Wall-clock seconds for the same sweeps at the seed commit (b218447,
@@ -107,29 +114,18 @@ def table4(regions=6, routers_per_region=5, peers=3) -> None:
     print("|---|---:|---:|---:|---|")
 
     start = time.perf_counter()
-    total_checks = 0
-    ok = True
-    for problem in all_peering_problems(wan):
-        report = verify_safety_family(
-            wan.config, problem.properties, problem.invariants, ghosts=(problem.ghost,)
-        )
-        total_checks += report.num_checks
-        ok &= report.passed
+    results = verify_peering_problems(wan)
+    total_checks = sum(report.num_checks for __, report in results)
+    ok = all(report.passed for __, report in results)
     print(
         f"| 4a: 11 peering policies | 11×{len(topo.routers)} | {total_checks} "
         f"| {time.perf_counter() - start:.1f} | {'PASS' if ok else 'FAIL'} |"
     )
 
     start = time.perf_counter()
-    total_checks = 0
-    ok = True
-    for region in range(wan.regions):
-        problem = ip_reuse_safety_problem(wan, region)
-        report = verify_safety_family(
-            wan.config, problem.properties, problem.invariants, ghosts=(problem.ghost,)
-        )
-        total_checks += report.num_checks
-        ok &= report.passed
+    results = verify_ip_reuse_safety_problems(wan)
+    total_checks = sum(report.num_checks for __, report in results)
+    ok = all(report.passed for __, report in results)
     print(
         f"| 4b: IP-reuse safety, all regions | {wan.regions} | {total_checks} "
         f"| {time.perf_counter() - start:.1f} | {'PASS' if ok else 'FAIL'} |"
@@ -154,12 +150,84 @@ def table4(regions=6, routers_per_region=5, peers=3) -> None:
     )
 
 
+def _prior_baselines(json_path: str) -> dict[int, dict[str, float]]:
+    """Per-size wall times from earlier BENCH_PR*.json records, if present."""
+    baselines: dict[int, dict[str, float]] = {}
+    here = Path(json_path).resolve().parent
+    for prior in sorted(here.glob("BENCH_PR*.json")):
+        if prior.name == Path(json_path).name:
+            continue
+        try:
+            data = json.loads(prior.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        label = prior.stem.lower()  # e.g. "bench_pr1" -> "pr1"
+        label = label.replace("bench_", "")
+        for sweep in data.get("sweeps", []):
+            serial = sweep.get("wall_time_s", {}).get("serial")
+            if serial is not None:
+                baselines.setdefault(sweep["routers"], {})[label] = serial
+    return baselines
+
+
+def reverify_microbench(n: int = 25, rounds: int = 3) -> dict:
+    """Initial verification vs. a single-router reverify on fullmesh N.
+
+    The edit is a benign extra deny on one router's external import — the
+    exact workload the §4.2 locality argument promises is cheap.
+    """
+
+    def edited_config():
+        config, __, ___, ____ = fullmesh_problem(n)
+        router = f"R{n}"
+        neighbor = config.routers[router].neighbors[f"E{n}"]
+        neighbor.import_map = RouteMap(
+            "EXT-IN-V2",
+            (
+                RouteMapClause(
+                    1,
+                    Disposition.DENY,
+                    matches=(MatchPrefix((PrefixRange.parse("192.168.0.0/16 le 32"),)),),
+                ),
+            )
+            + neighbor.import_map.clauses,
+        )
+        return config
+
+    best_initial = best_reverify = None
+    result = None
+    for __ in range(rounds):
+        config, ghost, prop, invariants = fullmesh_problem(n)
+        verifier = IncrementalVerifier(config, prop, invariants, ghosts=(ghost,))
+        start = time.perf_counter()
+        initial = verifier.verify()
+        t_initial = time.perf_counter() - start
+        assert initial.report.passed
+        start = time.perf_counter()
+        result = verifier.reverify(edited_config())
+        t_reverify = time.perf_counter() - start
+        assert result.report.passed
+        best_initial = t_initial if best_initial is None else min(best_initial, t_initial)
+        best_reverify = t_reverify if best_reverify is None else min(best_reverify, t_reverify)
+    return {
+        "routers": n,
+        "edit": "one extra deny clause on one router's external import",
+        "initial_wall_time_s": round(best_initial, 4),
+        "reverify_wall_time_s": round(best_reverify, 4),
+        "reverify_fraction_of_initial": round(best_reverify / best_initial, 4),
+        "rerun_checks": result.rerun_checks,
+        "cached_checks": result.cached_checks,
+    }
+
+
 def perf_baseline(json_path: str, sizes=(25, 50), rounds: int = 3) -> dict:
     """Measure the fullmesh safety sweeps and write a JSON trajectory record.
 
     For each network size the sweep runs ``rounds`` times serially (shared
     sessions) and once per extra backend; best-of wall times are compared
-    against :data:`SEED_BASELINE_WALL_S`.
+    against :data:`SEED_BASELINE_WALL_S` and any earlier ``BENCH_PR*.json``
+    records next to ``json_path``.  Term-construction cache counters and a
+    reverify micro-benchmark ride along.
     """
     jobs = os.cpu_count() or 1
     record: dict = {
@@ -169,6 +237,7 @@ def perf_baseline(json_path: str, sizes=(25, 50), rounds: int = 3) -> dict:
         "rounds": rounds,
         "sweeps": [],
     }
+    prior = _prior_baselines(json_path)
     modes = [("serial", None, "auto")]
     if jobs > 1:
         # Only claim a process-backend measurement when one can actually
@@ -184,9 +253,14 @@ def perf_baseline(json_path: str, sizes=(25, 50), rounds: int = 3) -> dict:
         )
     for n in sizes:
         timings: dict[str, float] = {}
+        caches: dict[str, dict] = {}
         for mode, parallel, backend in modes:
             best = None
             for __ in range(rounds):
+                # Reset per round: each sweep is a cold-cache measurement,
+                # comparable to the (cache-less) seed and PR 1 baselines,
+                # and the recorded counters describe exactly one sweep.
+                reset_transfer_cache()
                 config, ghost, prop, invariants = fullmesh_problem(n)
                 start = time.perf_counter()
                 report = verify_safety(
@@ -201,18 +275,38 @@ def perf_baseline(json_path: str, sizes=(25, 50), rounds: int = 3) -> dict:
                 assert report.passed
                 best = elapsed if best is None else min(best, elapsed)
             timings[mode] = round(best, 4)
+            transfer = transfer_cache_stats()
+            predicates = predicate_term_cache_stats()
+            caches[mode] = {
+                "transfer": {
+                    "hits": transfer.hits,
+                    "misses": transfer.misses,
+                    "hit_rate": round(transfer.hit_rate, 4),
+                },
+                "predicate_terms": {
+                    "hits": predicates.hits,
+                    "misses": predicates.misses,
+                    "hit_rate": round(predicates.hit_rate, 4),
+                },
+            }
         seed_wall = SEED_BASELINE_WALL_S.get(n)
         entry = {
             "routers": n,
             "num_checks": report.num_checks,
             "wall_time_s": timings,
             "seed_wall_time_s": seed_wall,
+            "term_cache": caches,
         }
         if seed_wall is not None:
             entry["speedup_vs_seed"] = {
                 mode: round(seed_wall / wall, 2) for mode, wall in timings.items()
             }
+        for label, wall in sorted(prior.get(n, {}).items()):
+            entry[f"speedup_vs_{label}"] = {
+                mode: round(wall / t, 2) for mode, t in timings.items()
+            }
         record["sweeps"].append(entry)
+    record["reverify"] = reverify_microbench()
     Path(json_path).write_text(json.dumps(record, indent=2) + "\n")
     return record
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 
-from repro.bgp.policy import RouteMap
+from repro.bgp.policy import RouteMap, canonical_policy, route_map_digest
 from repro.bgp.route import Route
 from repro.bgp.topology import Edge, Topology
 
@@ -31,6 +31,22 @@ class NeighborConfig:
     def __post_init__(self) -> None:
         if not isinstance(self.originated, tuple):
             self.originated = tuple(self.originated)
+
+    def policy_fingerprint(self) -> tuple:
+        """Canonical form of everything this session contributes to policy.
+
+        Route maps enter as their memoised content digest rather than their
+        full canonical tree: ``reverify`` recomputes every router's digest,
+        so the per-map canonicalisation must amortise across calls (and
+        across the many routers sharing one map by value).
+        """
+        return (
+            self.peer,
+            self.remote_asn,
+            route_map_digest(self.import_map),
+            route_map_digest(self.export_map),
+            tuple(canonical_policy(route) for route in self.originated),
+        )
 
 
 @dataclass
@@ -57,12 +73,25 @@ class RouterConfig:
         self.neighbors[neighbor.peer] = neighbor
 
     def digest(self) -> str:
-        """A stable fingerprint used for incremental re-verification."""
-        h = hashlib.sha256()
-        h.update(f"{self.name}:{self.asn}:{sorted(self.rr_clients)}".encode())
-        for peer in sorted(self.neighbors):
-            h.update(repr(self.neighbors[peer]).encode())
-        return h.hexdigest()
+        """A canonical fingerprint of this router's policy.
+
+        Two configurations that differ only in construction order —
+        neighbor insertion order, community-set insertion order, ghost
+        mapping order — digest identically; any change to the router's
+        route maps, originations, sessions, ASN, or reflector clients
+        produces a different digest.  Incremental re-verification and the
+        transfer-output cache both key on this.
+        """
+        canon = (
+            self.name,
+            self.asn,
+            tuple(sorted(self.rr_clients)),
+            tuple(
+                self.neighbors[peer].policy_fingerprint()
+                for peer in sorted(self.neighbors)
+            ),
+        )
+        return hashlib.sha256(repr(canon).encode()).hexdigest()
 
 
 class NetworkConfig:
@@ -89,6 +118,10 @@ class NetworkConfig:
         if not self.topology.is_external(name):
             raise ValueError(f"{name!r} is not an external node")
         self.external_asns[name] = asn
+
+    def policy_digests(self) -> dict[str, str]:
+        """Per-router canonical policy digests (see :meth:`RouterConfig.digest`)."""
+        return {name: rc.digest() for name, rc in self.routers.items()}
 
     def asn_of(self, node: str) -> int:
         if node in self.routers:

@@ -14,7 +14,8 @@ A hypothesis test asserts the two agree on every route.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+import hashlib
+from dataclasses import dataclass, field, fields, is_dataclass
 from typing import Sequence
 
 from repro.bgp.prefix import Prefix, PrefixRange
@@ -317,3 +318,80 @@ class RouteMap:
     def deny_all(name: str = "DENY-ALL") -> "RouteMap":
         """A route map that rejects every route."""
         return RouteMap(name, (RouteMapClause(seq=10, disposition=Disposition.DENY),))
+
+
+# ---------------------------------------------------------------------------
+# Canonical policy fingerprints
+# ---------------------------------------------------------------------------
+#
+# Incremental re-verification and the transfer-output cache both key on "the
+# policy applied here".  ``repr`` is not a safe key: it leaks the iteration
+# order of unordered containers (``frozenset`` community sets, ghost dicts),
+# which varies with insertion order and hash seed.  ``canonical_policy``
+# converts any policy object — matches, actions, clauses, route maps, routes —
+# into nested tuples of primitives where every unordered container is sorted,
+# so structurally equal policies produce identical keys in every process.
+
+
+def canonical_policy(obj: object) -> object:
+    """A hashable, order-canonical representation of a policy object.
+
+    Ordered containers (clause lists, AS paths, prefix lists) keep their
+    order — it is semantically meaningful or at least author-chosen.
+    Unordered containers (community sets, ghost mappings) are sorted.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, Route):
+        return (
+            "Route",
+            canonical_policy(obj.prefix),
+            obj.as_path,
+            obj.next_hop,
+            obj.local_pref,
+            obj.med,
+            tuple(sorted((c.asn, c.value) for c in obj.communities)),
+            obj.origin,
+            tuple(sorted(obj.ghost.items())),
+        )
+    if is_dataclass(obj):
+        # Covers Match/Action subclasses, RouteMapClause, RouteMap,
+        # Community, Prefix, and PrefixRange: all frozen tuples of fields.
+        return (type(obj).__name__,) + tuple(
+            canonical_policy(getattr(obj, f.name)) for f in fields(obj)
+        )
+    if isinstance(obj, tuple):
+        return tuple(canonical_policy(item) for item in obj)
+    if isinstance(obj, (frozenset, set)):
+        return tuple(sorted(canonical_policy(item) for item in obj))
+    raise TypeError(f"cannot canonicalise policy object {obj!r}")
+
+
+_route_map_digests: dict[RouteMap, str] = {}
+
+
+def clear_route_map_digest_memo() -> None:
+    """Drop the digest memo (wired into ``reset_transfer_cache``).
+
+    Entries are tiny (map → hex string) but accumulate one per distinct
+    policy ever digested; long-lived sessions that churn through many
+    configurations can reclaim them here.
+    """
+    _route_map_digests.clear()
+
+
+def route_map_digest(route_map: RouteMap | None) -> str:
+    """A stable content digest of one route map (``-`` for no filter).
+
+    Memoised by value, so structurally equal maps — including maps rebuilt
+    from the same source — share one digest computation.
+    """
+    if route_map is None:
+        return "-"
+    digest = _route_map_digests.get(route_map)
+    if digest is None:
+        digest = hashlib.sha256(repr(canonical_policy(route_map)).encode()).hexdigest()
+        _route_map_digests[route_map] = digest
+    return digest

@@ -9,7 +9,11 @@ A check can be discharged hermetically (a fresh :class:`repro.smt.Solver`
 per query) or against a shared :class:`repro.smt.CheckSession`, which
 reuses the bit-blasted, Tseitin-encoded transfer-function fragments across
 the checks that share them — see :func:`repro.core.safety.run_checks`,
-which routes checks to one session per owner router.
+which routes checks to one session per owner router (drawn from a
+persistent :class:`repro.smt.SessionPool` when the caller supplies one).
+Term construction itself is also reused: the transfer functions called
+from ``run`` are memoised by policy content in :mod:`repro.lang.transfer`,
+so two edges running the same filter build their symbolic relation once.
 """
 
 from __future__ import annotations
@@ -24,7 +28,7 @@ from repro.bgp.topology import Edge
 from repro.core.counterexample import CheckFailure
 from repro.core.properties import Location
 from repro.lang.ghost import GhostAttribute
-from repro.lang.predicates import Predicate
+from repro.lang.predicates import Predicate, predicate_term
 from repro.lang.symroute import SymbolicRoute
 from repro.lang.transfer import symbolic_originated, transfer_export, transfer_import
 from repro.lang.universe import AttributeUniverse
@@ -115,18 +119,18 @@ class LocalCheck:
         route_in = SymbolicRoute.fresh("r", universe)
         accepted, route_out = transfer(config, self.edge, route_in, ghosts)
 
-        assertions = [route_in.well_formed(), self.assumption.to_term(route_in)]
+        assertions = [route_in.well_formed(), predicate_term(self.assumption, route_in)]
         if self.kind in (CheckKind.PROPAGATE_IMPORT, CheckKind.PROPAGATE_EXPORT):
             # Propagation checks must prove acceptance: refute
             #   assumption(r) and (rejected or not goal(r')).
             assertions.append(
-                smt.or_(smt.not_(accepted), smt.not_(self.goal.to_term(route_out)))
+                smt.or_(smt.not_(accepted), smt.not_(predicate_term(self.goal, route_out)))
             )
         else:
             # Safety checks only constrain accepted routes: refute
             #   assumption(r) and accepted and not goal(r').
             assertions.append(accepted)
-            assertions.append(smt.not_(self.goal.to_term(route_out)))
+            assertions.append(smt.not_(predicate_term(self.goal, route_out)))
         result, stats, model = self._discharge(assertions, conflict_budget, session)
 
         if result is smt.Result.UNSAT:
@@ -157,7 +161,7 @@ class LocalCheck:
         combined = SolverStats()
         for sym in symbolic_originated(config, self.edge, universe, ghosts):
             result, stats, model = self._discharge(
-                [smt.not_(self.goal.to_term(sym))], conflict_budget, session
+                [smt.not_(predicate_term(self.goal, sym))], conflict_budget, session
             )
             combined = _merge_stats(combined, stats)
             if result is smt.Result.UNKNOWN:
@@ -184,8 +188,8 @@ class LocalCheck:
         route = SymbolicRoute.fresh("r", universe)
         assertions = [
             route.well_formed(),
-            self.assumption.to_term(route),
-            smt.not_(self.goal.to_term(route)),
+            predicate_term(self.assumption, route),
+            smt.not_(predicate_term(self.goal, route)),
         ]
         result, stats, model = self._discharge(assertions, conflict_budget, session)
         if result is smt.Result.UNSAT:
@@ -252,12 +256,25 @@ def generate_safety_checks(
     invariants,
     property_location: Location,
     property_predicate: Predicate,
+    owners: "set[str] | None" = None,
 ) -> list[LocalCheck]:
-    """The Import/Export/Originate checks for every edge, plus ``I_l ⊆ P``."""
+    """The Import/Export/Originate checks for every edge, plus ``I_l ⊆ P``.
+
+    With ``owners``, only checks owned by those routers are generated (and
+    the owner-less implication check is skipped) — the incremental verifier
+    uses this to refresh just the edited routers' checks instead of
+    rebuilding the whole list.
+    """
     checks: list[LocalCheck] = []
     topo = config.topology
-    for edge in sorted(topo.edges):
-        if topo.is_router(edge.dst):
+    if owners is None:
+        edges = sorted(topo.edges)
+    else:
+        edges = sorted(
+            e for e in topo.edges if e.src in owners or e.dst in owners
+        )
+    for edge in edges:
+        if topo.is_router(edge.dst) and (owners is None or edge.dst in owners):
             route_map = config.import_map(edge)
             checks.append(
                 LocalCheck(
@@ -272,7 +289,7 @@ def generate_safety_checks(
                     ),
                 )
             )
-        if topo.is_router(edge.src):
+        if topo.is_router(edge.src) and (owners is None or edge.src in owners):
             route_map = config.export_map(edge)
             checks.append(
                 LocalCheck(
@@ -299,17 +316,18 @@ def generate_safety_checks(
                         ),
                     )
                 )
-    checks.append(
-        LocalCheck(
-            kind=CheckKind.IMPLICATION,
-            edge=None,
-            location=property_location,
-            assumption=invariants.get(property_location),
-            goal=property_predicate,
-            description=(
-                f"implication check at {property_location}: "
-                f"I[{property_location}] implies the property"
-            ),
+    if owners is None:
+        checks.append(
+            LocalCheck(
+                kind=CheckKind.IMPLICATION,
+                edge=None,
+                location=property_location,
+                assumption=invariants.get(property_location),
+                goal=property_predicate,
+                description=(
+                    f"implication check at {property_location}: "
+                    f"I[{property_location}] implies the property"
+                ),
+            )
         )
-    )
     return checks

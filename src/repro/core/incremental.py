@@ -27,6 +27,8 @@ from repro.core.checks import (
 from repro.core.properties import InvariantMap, SafetyProperty
 from repro.core.safety import SafetyReport, build_universe, run_checks
 from repro.lang.ghost import GhostAttribute
+from repro.lang.universe import AttributeUniverse
+from repro.smt.solver import SessionPool
 
 
 def _check_key(check: LocalCheck) -> tuple:
@@ -55,6 +57,17 @@ class IncrementalVerifier:
     :class:`NetworkConfig` (same topology) re-runs only checks whose owner
     digest changed.  Changing the property or invariants requires a new
     verifier — those inputs touch every check.
+
+    Between runs the verifier also keeps the expensive substrate alive:
+
+    * ``sessions`` — one persistent :class:`SessionPool` keyed by owner
+      router.  A rerun check is discharged against its owner's existing
+      clause database, so only the *changed* transfer terms are encoded;
+      owners whose digest is unchanged see no solver activity at all.
+    * the attribute universe and generated check list, which are rebuilt
+      only when a digest actually changed (and the universe object is
+      swapped only when its *content* changed, keeping the symbolic-route
+      and transfer caches hot).  ``universe_builds`` counts adoptions.
     """
 
     def __init__(
@@ -74,6 +87,10 @@ class IncrementalVerifier:
         self._config = config
         self._outcomes: dict[tuple, CheckOutcome] = {}
         self._digests: dict[str, str] = {}
+        self._universe: AttributeUniverse | None = None
+        self._checks: list[LocalCheck] | None = None
+        self.sessions = SessionPool()
+        self.universe_builds = 0
 
     def verify(self) -> IncrementalResult:
         """Initial full verification (populates the cache)."""
@@ -88,18 +105,55 @@ class IncrementalVerifier:
             # Topology changes regenerate the check set; start over.
             self._outcomes.clear()
             self._digests.clear()
+            self._universe = None
+            self._checks = None
+            self.sessions.clear()
         self._config = new_config
         return self._run(new_config, full=False)
 
     # ------------------------------------------------------------------
 
+    def _refresh_problem(self, config: NetworkConfig, new_digests: dict[str, str]) -> None:
+        """Rebuild universe/checks only when some router's policy changed."""
+        if self._universe is not None and new_digests == self._digests:
+            return
+        universe = build_universe(
+            config, self.invariants, [self.prop.predicate], self.ghosts
+        )
+        if universe != self._universe:
+            # Adopt only on content change; an equal universe keeps the
+            # existing object so downstream value-keyed caches stay warm.
+            self._universe = universe
+            self.universe_builds += 1
+        if self._checks is None:
+            self._checks = generate_safety_checks(
+                config, self.invariants, self.prop.location, self.prop.predicate
+            )
+        else:
+            # Refresh only the edited owners' checks (their route-map
+            # metadata or originations may have changed); everything else —
+            # including the owner-less implication check — carries over.
+            changed = {
+                name
+                for name, digest in new_digests.items()
+                if self._digests.get(name) != digest
+            }
+            kept = [c for c in self._checks if check_owner(c) not in changed]
+            self._checks = kept + generate_safety_checks(
+                config,
+                self.invariants,
+                self.prop.location,
+                self.prop.predicate,
+                owners=changed,
+            )
+
     def _run(self, config: NetworkConfig, full: bool) -> IncrementalResult:
         start = time.perf_counter()
-        universe = build_universe(config, self.invariants, [self.prop.predicate], self.ghosts)
-        checks = generate_safety_checks(
-            config, self.invariants, self.prop.location, self.prop.predicate
-        )
-        new_digests = {name: rc.digest() for name, rc in config.routers.items()}
+        new_digests = config.policy_digests()
+        self._refresh_problem(config, new_digests)
+        universe = self._universe
+        checks = self._checks
+        assert universe is not None and checks is not None
 
         to_run: list[LocalCheck] = []
         cached: list[CheckOutcome] = []
@@ -123,6 +177,7 @@ class IncrementalVerifier:
             self.ghosts,
             parallel=self.parallel,
             backend=self.backend,
+            sessions=self.sessions,
         )
         for check, outcome in zip(to_run, fresh):
             self._outcomes[_check_key(check)] = outcome

@@ -25,6 +25,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import TYPE_CHECKING, Sequence
 
 from repro.core.checks import check_owner
+from repro.lang.transfer import set_transfer_cache_enabled, transfer_cache_enabled
 from repro.smt.solver import CheckSession
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
@@ -44,9 +45,15 @@ def _init_worker(
     universe: "AttributeUniverse",
     ghosts: tuple["GhostAttribute", ...],
     conflict_budget: int | None,
+    cache_enabled: bool = True,
 ) -> None:
     global _WORKER_CONTEXT
     _WORKER_CONTEXT = (config, universe, ghosts, conflict_budget)
+    # Mirror the parent's transfer-memoisation switch: workers rebuild
+    # their own caches from the shipped config/universe (term graphs don't
+    # pickle usefully), but a cache-off differential run must stay cache-off
+    # end to end.
+    set_transfer_cache_enabled(cache_enabled)
 
 
 def _run_chunk(
@@ -94,7 +101,7 @@ def run_checks_in_processes(
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(chunks)),
             initializer=_init_worker,
-            initargs=(config, universe, ghosts, conflict_budget),
+            initargs=(config, universe, ghosts, conflict_budget, transfer_cache_enabled()),
         ) as pool:
             outcomes: list["CheckOutcome | None"] = [None] * len(checks)
             for pairs in pool.map(_run_chunk, chunks):

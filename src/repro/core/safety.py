@@ -39,7 +39,7 @@ from repro.core.properties import InvariantMap, SafetyProperty
 from repro.lang.ghost import GhostAttribute
 from repro.lang.predicates import predicate_atoms
 from repro.lang.universe import AttributeUniverse
-from repro.smt.solver import CheckSession
+from repro.smt.solver import SessionPool
 
 BACKENDS = ("auto", "serial", "process", "thread")
 
@@ -147,6 +147,7 @@ def run_checks(
     parallel: int | str | None = None,
     conflict_budget: int | None = None,
     backend: str = "auto",
+    sessions: SessionPool | None = None,
 ) -> list[CheckOutcome]:
     """Discharge a list of checks; outcomes come back in input order.
 
@@ -160,6 +161,14 @@ def run_checks(
     * ``"serial"`` — in-process, one shared :class:`CheckSession` per
       owner router.
     * ``"thread"`` — legacy thread pool, hermetic solver per check.
+
+    ``sessions`` optionally supplies a persistent owner-keyed
+    :class:`SessionPool`; the serial path then draws each owner's session
+    from it (and leaves it populated), so encodings survive across calls —
+    incremental re-verification and multi-family sweeps pass one pool
+    repeatedly.  Worker processes keep their own per-chunk sessions, so a
+    supplied pool is simply unused (outcomes are identical) when the
+    process or thread backend actually runs.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
@@ -177,13 +186,10 @@ def run_checks(
                     lambda ch: ch.run(config, universe, ghosts, conflict_budget), checks
                 )
             )
-    sessions: dict[str | None, CheckSession] = {}
+    pool = sessions if sessions is not None else SessionPool()
     outcomes = []
     for check in checks:
-        owner = check_owner(check)
-        session = sessions.get(owner)
-        if session is None:
-            session = sessions[owner] = CheckSession()
+        session = pool.get(check_owner(check))
         outcomes.append(
             check.run(config, universe, ghosts, conflict_budget, session=session)
         )
@@ -199,6 +205,7 @@ def verify_safety(
     parallel: int | str | None = None,
     conflict_budget: int | None = None,
     backend: str = "auto",
+    sessions: SessionPool | None = None,
 ) -> SafetyReport:
     """Verify a safety property via local checks (the §4 pipeline)."""
     start = time.perf_counter()
@@ -213,6 +220,7 @@ def verify_safety(
         parallel=parallel,
         conflict_budget=conflict_budget,
         backend=backend,
+        sessions=sessions,
     )
     return SafetyReport(
         property=prop,
@@ -229,6 +237,8 @@ def verify_safety_family(
     parallel: int | str | None = None,
     conflict_budget: int | None = None,
     backend: str = "auto",
+    universe: AttributeUniverse | None = None,
+    sessions: SessionPool | None = None,
 ) -> SafetyReport:
     """Verify a family of safety properties sharing one invariant map.
 
@@ -236,13 +246,20 @@ def verify_safety_family(
     many locations.  The Import/Export/Originate checks depend only on the
     invariants, so they run once; only the cheap ``I_l ⊆ P`` implication
     check repeats per property.
+
+    ``universe`` and ``sessions`` let a caller hoist encoding reuse one
+    level further: Table-4 sweeps run many families over the same network,
+    so they build one covering universe and one :class:`SessionPool` and
+    pass both to every family (see
+    :func:`repro.workloads.wan_properties.verify_peering_problems`).
     """
     if not props:
         raise ValueError("empty property family")
     start = time.perf_counter()
-    universe = build_universe(
-        config, invariants, [p.predicate for p in props], ghosts
-    )
+    if universe is None:
+        universe = build_universe(
+            config, invariants, [p.predicate for p in props], ghosts
+        )
     checks = generate_safety_checks(
         config, invariants, props[0].location, props[0].predicate
     )
@@ -269,6 +286,7 @@ def verify_safety_family(
         parallel=parallel,
         conflict_budget=conflict_budget,
         backend=backend,
+        sessions=sessions,
     )
     family_name = props[0].name or "family"
     summary_prop = SafetyProperty(

@@ -22,7 +22,71 @@ from repro import smt
 from repro.bgp.prefix import Prefix, PrefixRange
 from repro.bgp.route import Community, Route
 from repro.lang.symroute import ADDR_WIDTH, LEN_WIDTH, SymbolicRoute
-from repro.smt.terms import Term
+from repro.smt.terms import Term, register_intern_dependent
+
+
+@dataclass
+class TermCacheStats:
+    """Hit/miss counters for a lang-layer term-construction cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+# Predicate-term memoisation: every local check lowers its assumption and
+# goal predicates against (usually) the one canonical symbolic route of the
+# sweep, so ``predicate_term`` caches ``pred.to_term(route)`` keyed by
+# (route instance token, predicate-by-value).  Entries are interned terms,
+# so the cache dies with the intern table like every other term-identity
+# cache.  The on/off switch is driven by the lang-layer master toggle in
+# :mod:`repro.lang.transfer`.
+
+_term_cache_enabled: bool = True
+_term_cache: dict[tuple, Term] = {}
+_term_stats = TermCacheStats()
+
+
+def set_predicate_term_cache_enabled(enabled: bool) -> bool:
+    global _term_cache_enabled
+    previous = _term_cache_enabled
+    _term_cache_enabled = bool(enabled)
+    return previous
+
+
+def predicate_term_cache_stats() -> TermCacheStats:
+    return TermCacheStats(hits=_term_stats.hits, misses=_term_stats.misses)
+
+
+def reset_predicate_term_cache() -> None:
+    _term_cache.clear()
+    _term_stats.hits = 0
+    _term_stats.misses = 0
+
+
+register_intern_dependent(_term_cache.clear)
+
+
+def predicate_term(pred: "Predicate", route: SymbolicRoute) -> Term:
+    """``pred.to_term(route)``, memoised per (route instance, predicate)."""
+    if not _term_cache_enabled:
+        return pred.to_term(route)
+    key = (route.instance_token(), pred)
+    term = _term_cache.get(key)
+    if term is not None:
+        _term_stats.hits += 1
+        return term
+    _term_stats.misses += 1
+    term = pred.to_term(route)
+    _term_cache[key] = term
+    return term
 
 
 class Predicate:

@@ -22,8 +22,9 @@ fields are ``ite`` terms over the original variables.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, replace
-from typing import ClassVar, Mapping
+from typing import ClassVar, Iterator, Mapping
 
 from repro import smt
 from repro.bgp.prefix import Prefix
@@ -126,6 +127,33 @@ class SymbolicRoute:
                 for g in universe.ghosts
             },
         )
+
+    # ------------------------------------------------------------------
+    # Memoisation support
+    # ------------------------------------------------------------------
+
+    # itertools.count: next() is atomic under the GIL, so concurrent checks
+    # (the thread backend) can never hand two instances the same token —
+    # a collision would alias cache entries between different routes.
+    _token_counter: ClassVar[Iterator[int]] = itertools.count(1)
+
+    def instance_token(self) -> int:
+        """A process-unique token branding this instance for memo keys.
+
+        The lang-layer caches (transfer outputs, predicate terms) key on
+        "which route" far more often than they can afford a structural key
+        over every field term, so each instance is stamped with a counter
+        on first use.  Tokens are never reused, and the hot inputs are
+        themselves interned instances (``fresh`` is cached per universe),
+        so equal routes that matter share a token.  (A racing re-stamp of
+        the same instance is harmless: both tokens are unique, the loser's
+        cache entries just go cold.)
+        """
+        token = self.__dict__.get("_instance_token")
+        if token is None:
+            token = next(SymbolicRoute._token_counter)
+            object.__setattr__(self, "_instance_token", token)
+        return token
 
     # ------------------------------------------------------------------
     # Well-formedness

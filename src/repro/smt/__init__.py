@@ -73,6 +73,7 @@ from repro.smt.solver import (
     Counterexample,
     Model,
     Result,
+    SessionPool,
     Solver,
     SolverStats,
     prove,
@@ -125,6 +126,7 @@ __all__ = [
     "BitVecSort",
     "Solver",
     "CheckSession",
+    "SessionPool",
     "Result",
     "Model",
     "SolverStats",

@@ -410,6 +410,73 @@ class CheckSession:
             raise RuntimeError("model() is only available after a SAT check()")
         return self._model
 
+    @property
+    def total_vars(self) -> int:
+        """SAT variables in the session's accumulated encoding."""
+        return self._sat.num_vars
+
+    @property
+    def total_clauses(self) -> int:
+        """Clauses ever added to the session's shared database."""
+        return self._sat.num_clauses_added
+
+
+class SessionPool:
+    """A keyed pool of long-lived :class:`CheckSession` instances.
+
+    The intended key is the owner router of a check group
+    (:func:`repro.core.checks.check_owner`; ``None`` for invariant-only
+    checks).  Passing one pool across many ``run_checks`` calls makes the
+    per-owner encodings persistent: a re-verification or a later property
+    family re-uses the clauses an earlier call already built and pays only
+    the marginal encoding of genuinely new terms.  Reuse is always sound —
+    session databases are purely definitional and every check is discharged
+    under assumptions — so a pool never needs invalidation for correctness;
+    ``drop`` exists to bound memory when an owner's policy is gone for good.
+    """
+
+    def __init__(self) -> None:
+        self._sessions: dict[object, CheckSession] = {}
+        self.created = 0
+
+    def get(self, key: object) -> CheckSession:
+        """The session for ``key``, created on first use."""
+        session = self._sessions.get(key)
+        if session is None:
+            session = self._sessions[key] = CheckSession()
+            self.created += 1
+        return session
+
+    def peek(self, key: object) -> CheckSession | None:
+        return self._sessions.get(key)
+
+    def drop(self, key: object) -> None:
+        self._sessions.pop(key, None)
+
+    def clear(self) -> None:
+        self._sessions.clear()
+
+    def keys(self):
+        return self._sessions.keys()
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def checks_discharged(self) -> int:
+        return sum(s.checks_discharged for s in self._sessions.values())
+
+    def encoding_sizes(self) -> dict[object, tuple[int, int]]:
+        """Per-key ``(total_vars, total_clauses)`` — the re-encoding witness.
+
+        Tests diff two snapshots to prove which owners' encodings grew
+        during an operation (e.g. only the edited router's on a reverify).
+        """
+        return {
+            key: (s.total_vars, s.total_clauses)
+            for key, s in self._sessions.items()
+        }
+
 
 @dataclass
 class Counterexample:

@@ -11,15 +11,24 @@ This module constructs, for a generated :class:`WanNetwork`:
 
 Each builder returns the property (or property family), the invariant map,
 and the ghost attributes — ready to hand to the verification entry points.
+
+The ``verify_*_problems`` runners additionally hoist encoding reuse above
+the property-family loop: a Table-4 sweep builds **one** attribute universe
+covering every family and **one** persistent :class:`repro.smt.SessionPool`,
+so the transfer-function encodings built for the first family are reused by
+all later ones instead of being rebuilt per family.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.bgp.prefix import Prefix, PrefixRange
 from repro.bgp.topology import Edge
 from repro.core.properties import InvariantMap, LivenessProperty, SafetyProperty
+from repro.core.safety import SafetyReport, build_universe, verify_safety_family
+from repro.smt.solver import SessionPool
 from repro.lang.ghost import GhostAttribute
 from repro.lang.predicates import (
     AllOf,
@@ -124,6 +133,79 @@ def combined_peering_problem(wan: WanNetwork) -> PeeringProblem:
 
 
 # ---------------------------------------------------------------------------
+# Hoisted sweep runners: one universe + one session pool across families
+# ---------------------------------------------------------------------------
+
+
+def _verify_problem_families(
+    wan: WanNetwork,
+    problems,
+    parallel: int | str | None,
+    conflict_budget: int | None,
+    backend: str,
+    sessions: SessionPool | None,
+):
+    """Run a list of property-family problems against shared encodings.
+
+    One attribute universe covers every family's properties, invariants,
+    and ghosts, and one :class:`SessionPool` is threaded through all of
+    them — so the symbolic input routes, the memoised transfer outputs,
+    and the per-owner session encodings are identical (and built once)
+    across the whole sweep.
+    """
+    preds = []
+    ghosts = []
+    for prob in problems:
+        preds.extend(p.predicate for p in prob.properties)
+        preds.append(prob.invariants.default)
+        preds.extend(
+            prob.invariants.get(loc)
+            for loc in prob.invariants.overridden_locations()
+        )
+        ghosts.append(prob.ghost)
+    universe = build_universe(wan.config, None, preds, tuple(ghosts))
+    pool = sessions if sessions is not None else SessionPool()
+    results = []
+    for prob in problems:
+        report = verify_safety_family(
+            wan.config,
+            prob.properties,
+            prob.invariants,
+            ghosts=(prob.ghost,),
+            parallel=parallel,
+            conflict_budget=conflict_budget,
+            backend=backend,
+            universe=universe,
+            sessions=pool,
+        )
+        results.append((prob, report))
+    return results
+
+
+def verify_peering_problems(
+    wan: WanNetwork,
+    problems: Sequence[PeeringProblem] | None = None,
+    parallel: int | str | None = None,
+    conflict_budget: int | None = None,
+    backend: str = "auto",
+    sessions: SessionPool | None = None,
+) -> list[tuple[PeeringProblem, SafetyReport]]:
+    """Run Table-4a peering families with encodings shared across families.
+
+    All eleven families read the same filters under the same ``FromPeer``
+    ghost; only the quality predicate differs.  Hoisting the universe and
+    the session pool above the family loop therefore turns every family
+    after the first into (mostly) assumption-scoped re-solves against the
+    encodings the first family built.
+    """
+    if problems is None:
+        problems = all_peering_problems(wan)
+    return _verify_problem_families(
+        wan, problems, parallel, conflict_budget, backend, sessions
+    )
+
+
+# ---------------------------------------------------------------------------
 # IP reuse: safety (Table 4b)
 # ---------------------------------------------------------------------------
 
@@ -195,6 +277,29 @@ def ip_reuse_safety_problem(wan: WanNetwork, region: int) -> IpReuseSafetyProble
     ]
     return IpReuseSafetyProblem(
         region=region, properties=properties, invariants=invariants, ghost=ghost
+    )
+
+
+def verify_ip_reuse_safety_problems(
+    wan: WanNetwork,
+    regions: Sequence[int] | None = None,
+    parallel: int | str | None = None,
+    conflict_budget: int | None = None,
+    backend: str = "auto",
+    sessions: SessionPool | None = None,
+) -> list[tuple[IpReuseSafetyProblem, SafetyReport]]:
+    """Run Table-4b families for many regions with shared encodings.
+
+    The per-region ghosts differ (``FromRegion0``, ``FromRegion1``, ...),
+    so the covering universe carries all of them; the filters being encoded
+    are still the same per owner router, and the shared pool reuses them
+    across regions.
+    """
+    if regions is None:
+        regions = range(wan.regions)
+    problems = [ip_reuse_safety_problem(wan, region) for region in regions]
+    return _verify_problem_families(
+        wan, problems, parallel, conflict_budget, backend, sessions
     )
 
 

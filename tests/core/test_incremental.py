@@ -97,6 +97,74 @@ def test_breaking_edit_detected_incrementally(fig1_config, from_isp1):
     assert result2.rerun_checks == 6
 
 
+def test_universe_not_rebuilt_when_nothing_changed(fig1_config, from_isp1):
+    """Regression: reverify used to rebuild the universe (and the check
+    list) unconditionally; with unchanged digests both must be reused."""
+    v = _verifier(fig1_config, from_isp1)
+    v.verify()
+    assert v.universe_builds == 1
+    universe = v._universe
+    checks = v._checks
+
+    v.reverify(build_figure1())
+    assert v.universe_builds == 1
+    assert v._universe is universe  # same object, not an equal rebuild
+    assert v._checks is checks
+
+
+def test_universe_object_kept_across_content_preserving_edits(fig1_config, from_isp1):
+    """A policy edit that mentions no new communities/ASNs rescans but
+    keeps the same universe object, so value-keyed caches stay warm."""
+    v = _verifier(fig1_config, from_isp1)
+    v.verify()
+    universe = v._universe
+
+    updated = build_figure1()
+    old_map = updated.routers["R3"].neighbors["Customer"].import_map
+    updated.routers["R3"].neighbors["Customer"].import_map = RouteMap(
+        "CUST-IN",
+        (
+            RouteMapClause(
+                1,
+                Disposition.DENY,
+                matches=(MatchPrefix((PrefixRange.parse("192.168.0.0/16 le 32"),)),),
+            ),
+        )
+        + old_map.clauses,
+    )
+    result = v.reverify(updated)
+    assert result.rerun_checks == 6
+    assert v.universe_builds == 1
+    assert v._universe is universe
+
+
+def test_universe_rebuilt_when_edit_mentions_new_community(fig1_config, from_isp1):
+    v = _verifier(fig1_config, from_isp1)
+    v.verify()
+
+    updated = build_figure1()
+    from repro.bgp.route import Community
+
+    old_map = updated.routers["R3"].neighbors["Customer"].import_map
+    updated.routers["R3"].neighbors["Customer"].import_map = RouteMap(
+        "CUST-IN",
+        old_map.clauses[:-1]
+        + (
+            RouteMapClause(
+                old_map.clauses[-1].seq,
+                old_map.clauses[-1].disposition,
+                old_map.clauses[-1].matches,
+                old_map.clauses[-1].actions + (AddCommunity(Community(999, 9)),),
+            ),
+        ),
+    )
+    result = v.reverify(updated)
+    assert v.universe_builds == 2  # the universe content genuinely changed
+    assert Community(999, 9) in v._universe.communities
+    assert result.rerun_checks == 6
+    assert result.report.passed
+
+
 def test_topology_change_triggers_full_rerun(fig1_config, from_isp1):
     v = _verifier(fig1_config, from_isp1)
     v.verify()

@@ -1,0 +1,159 @@
+"""Tests for persistent CheckSessions across reverify calls and WAN sweeps.
+
+The PR-2 claim is that re-verification cost tracks the size of the *change*:
+a persistent :class:`SessionPool` keyed by owner router means a reverify
+touching router R adds encoding only to R's session (everyone else's clause
+database is bit-for-bit untouched), and a Table-4 sweep reuses one session
+per owner across all property families instead of rebuilding encodings per
+family.  The solver-level encoding counters are the witnesses.
+"""
+
+from __future__ import annotations
+
+from repro.bgp.policy import (
+    Disposition,
+    MatchPrefix,
+    RouteMap,
+    RouteMapClause,
+)
+from repro.bgp.prefix import PrefixRange
+from repro.core.incremental import IncrementalVerifier
+from repro.core.safety import verify_safety_family
+from repro.smt.solver import SessionPool
+from repro.workloads.figure1 import build_figure1
+from repro.workloads.wan import build_wan
+from repro.workloads.wan_properties import (
+    all_peering_problems,
+    verify_ip_reuse_safety_problems,
+    verify_peering_problems,
+)
+
+from tests.core.conftest import no_transit_invariants, no_transit_property
+
+
+def _verifier(config, from_isp1):
+    return IncrementalVerifier(
+        config,
+        no_transit_property(),
+        no_transit_invariants(config),
+        ghosts=(from_isp1,),
+    )
+
+
+def _edit_r3(config):
+    """A benign import-map tweak on R3 (extra bogon deny)."""
+    old_map = config.routers["R3"].neighbors["Customer"].import_map
+    config.routers["R3"].neighbors["Customer"].import_map = RouteMap(
+        "CUST-IN",
+        (
+            RouteMapClause(
+                1,
+                Disposition.DENY,
+                matches=(MatchPrefix((PrefixRange.parse("192.168.0.0/16 le 32"),)),),
+            ),
+        )
+        + old_map.clauses,
+    )
+    return config
+
+
+def test_verify_builds_one_session_per_owner(fig1_config, from_isp1):
+    v = _verifier(fig1_config, from_isp1)
+    v.verify()
+    # Three routers own filter checks; the implication check owns None.
+    assert set(v.sessions.keys()) == {"R1", "R2", "R3", None}
+    assert v.sessions.created == 4
+
+
+def test_noop_reverify_touches_no_sessions(fig1_config, from_isp1):
+    v = _verifier(fig1_config, from_isp1)
+    v.verify()
+    before = v.sessions.encoding_sizes()
+    discharged_before = v.sessions.checks_discharged
+    result = v.reverify(build_figure1())
+    assert result.rerun_checks == 0
+    assert v.sessions.encoding_sizes() == before
+    assert v.sessions.checks_discharged == discharged_before
+
+
+def test_reverify_reencodes_only_the_edited_owner(fig1_config, from_isp1):
+    v = _verifier(fig1_config, from_isp1)
+    v.verify()
+    before = v.sessions.encoding_sizes()
+
+    result = v.reverify(_edit_r3(build_figure1()))
+    assert result.report.passed
+    assert result.rerun_checks == 6  # R3's owner group
+
+    after = v.sessions.encoding_sizes()
+    assert v.sessions.created == 4  # sessions persisted, none rebuilt
+    grew = {key for key in after if after[key] != before[key]}
+    assert grew == {"R3"}, f"expected only R3's encoding to grow, got {grew}"
+    # And it genuinely grew — the new deny clause needs new terms.
+    assert after["R3"][0] > before["R3"][0]
+
+
+def test_second_reverify_of_same_edit_adds_no_encoding(fig1_config, from_isp1):
+    """Flip-flopping between two configs re-solves but re-encodes nothing:
+    both policy variants are already in R3's persistent clause database."""
+    v = _verifier(fig1_config, from_isp1)
+    v.verify()
+    v.reverify(_edit_r3(build_figure1()))
+    sizes_after_edit = v.sessions.encoding_sizes()
+
+    v.reverify(build_figure1())  # back to the original policy
+    v.reverify(_edit_r3(build_figure1()))  # and to the edit again
+    assert v.sessions.encoding_sizes() == sizes_after_edit
+
+
+def test_wan_sweep_shares_one_session_per_owner_across_families():
+    wan = build_wan(regions=3, routers_per_region=3, peers_per_edge=1)
+    problems = all_peering_problems(wan)[:4]
+    pool = SessionPool()
+    results = verify_peering_problems(wan, problems=problems, sessions=pool)
+    assert all(report.passed for __, report in results)
+
+    owners = set(wan.config.topology.routers) | {None}
+    assert set(pool.keys()) == owners
+    # One session per owner for the whole sweep — not per family.
+    assert pool.created == len(owners)
+    # Every family discharged its checks through the shared pool.
+    assert pool.checks_discharged == sum(r.num_checks for __, r in results)
+
+
+def test_wan_families_after_first_reuse_encodings():
+    wan = build_wan(regions=3, routers_per_region=3, peers_per_edge=1)
+    problems = all_peering_problems(wan)[:3]
+    pool = SessionPool()
+
+    verify_peering_problems(wan, problems=problems[:1], sessions=pool)
+    first_total = sum(v for v, __ in pool.encoding_sizes().values())
+    verify_peering_problems(wan, problems=problems[1:], sessions=pool)
+    later_total = sum(v for v, __ in pool.encoding_sizes().values())
+
+    # Two further families together must cost (much) less marginal encoding
+    # than the first did: the transfer terms are already in the databases.
+    assert later_total - first_total < first_total
+
+
+def test_hoisted_peering_sweep_matches_per_family_runs():
+    wan = build_wan(regions=3, routers_per_region=3, peers_per_edge=1)
+    problems = all_peering_problems(wan)
+    hoisted = verify_peering_problems(wan, problems=problems)
+    for problem, report in zip(problems, (r for __, r in hoisted)):
+        solo = verify_safety_family(
+            wan.config, problem.properties, problem.invariants, ghosts=(problem.ghost,)
+        )
+        assert report.num_checks == solo.num_checks
+        assert report.passed == solo.passed
+        assert [o.passed for o in report.outcomes] == [o.passed for o in solo.outcomes]
+
+
+def test_hoisted_ip_reuse_sweep_matches_per_region_runs():
+    wan = build_wan(regions=3, routers_per_region=3, peers_per_edge=1)
+    pool = SessionPool()
+    results = verify_ip_reuse_safety_problems(wan, sessions=pool)
+    assert len(results) == wan.regions
+    assert all(report.passed for __, report in results)
+    # Regions share the pool too: still one session per owner overall.
+    assert pool.created == len(set(wan.config.topology.routers)) + 1
