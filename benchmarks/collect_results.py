@@ -12,7 +12,10 @@ fullmesh N=50 Figure 3d configuration plus the N=25 smoke sweep, serial
 and process-parallel, with term-cache counters, plus a single-router
 reverify micro-benchmark) as a JSON file — ``BENCH_PR1.json`` holds the
 PR 1 numbers against the seed, ``BENCH_PR2.json`` the PR 2 numbers against
-both, so later PRs have a trajectory to compare.
+both, so later PRs have a trajectory to compare.  ``BENCH_PR3.json`` adds
+a liveness sweep (cold vs. warm session pool on the fullmesh liveness
+property) and a reverify-by-owner micro-benchmark (checks consulted via
+the owner index vs. the full check list).
 """
 
 from __future__ import annotations
@@ -36,9 +39,11 @@ from repro.core.liveness import verify_liveness
 from repro.core.safety import verify_safety
 from repro.lang.predicates import predicate_term_cache_stats
 from repro.lang.transfer import reset_transfer_cache, transfer_cache_stats
+from repro.smt.solver import SessionPool
+from repro.workloads.fullmesh import build_full_mesh, full_mesh_liveness_property
 from repro.workloads.wan import build_wan
 from repro.workloads.wan_properties import (
-    ip_reuse_liveness_problem,
+    verify_ip_reuse_liveness_problems,
     verify_ip_reuse_safety_problems,
     verify_peering_problems,
 )
@@ -132,18 +137,10 @@ def table4(regions=6, routers_per_region=5, peers=3) -> None:
     )
 
     start = time.perf_counter()
-    total_checks = 0
-    ok = True
-    for region in range(wan.regions):
-        problem = ip_reuse_liveness_problem(wan, region)
-        report = verify_liveness(
-            wan.config,
-            problem.property,
-            interference_invariants=problem.interference_invariants,
-            ghosts=(problem.ghost,),
-        )
-        total_checks += report.num_checks
-        ok &= report.passed
+    # One covering universe + one session pool across all regions (PR 3).
+    results = verify_ip_reuse_liveness_problems(wan)
+    total_checks = sum(report.num_checks for __, report in results)
+    ok = all(report.passed for __, report in results)
     print(
         f"| 4c: IP-reuse liveness, all regions | {wan.regions} | {total_checks} "
         f"| {time.perf_counter() - start:.1f} | {'PASS' if ok else 'FAIL'} |"
@@ -168,6 +165,49 @@ def _prior_baselines(json_path: str) -> dict[int, dict[str, float]]:
             if serial is not None:
                 baselines.setdefault(sweep["routers"], {})[label] = serial
     return baselines
+
+
+def liveness_microbench(n: int = 12, rounds: int = 3) -> dict:
+    """Cold vs. warm-pool ``verify_liveness`` on the fullmesh property.
+
+    The property's two no-interference sub-proofs generate checks on every
+    mesh edge, so the pipeline scales like the Figure 3d safety sweep.
+    Cold runs give each call a fresh :class:`SessionPool`; the warm run
+    re-verifies against a pool an earlier call already populated — the
+    marginal encoding is zero (asserted) and the wall time is the pure
+    re-solve cost.
+    """
+    prop = full_mesh_liveness_property(n)
+    best_cold = best_warm = None
+    num_checks = 0
+    for __ in range(rounds):
+        reset_transfer_cache()
+        config = build_full_mesh(n)
+        pool = SessionPool()
+        start = time.perf_counter()
+        cold = verify_liveness(config, prop, sessions=pool)
+        t_cold = time.perf_counter() - start
+        assert cold.passed
+        encoded = pool.total_encoding()
+        start = time.perf_counter()
+        warm = verify_liveness(config, prop, sessions=pool)
+        t_warm = time.perf_counter() - start
+        assert warm.passed
+        assert pool.total_encoding() == encoded, "warm run re-encoded something"
+        num_checks = cold.num_checks
+        best_cold = t_cold if best_cold is None else min(best_cold, t_cold)
+        best_warm = t_warm if best_warm is None else min(best_warm, t_warm)
+    return {
+        "workload": (
+            f"fullmesh N={n} short-prefix liveness "
+            f"(2 no-interference sub-proofs over the whole mesh)"
+        ),
+        "routers": n,
+        "num_checks": num_checks,
+        "cold_pool_wall_time_s": round(best_cold, 4),
+        "warm_pool_wall_time_s": round(best_warm, 4),
+        "warm_speedup": round(best_cold / best_warm, 2),
+    }
 
 
 def reverify_microbench(n: int = 25, rounds: int = 3) -> dict:
@@ -209,6 +249,7 @@ def reverify_microbench(n: int = 25, rounds: int = 3) -> dict:
         assert result.report.passed
         best_initial = t_initial if best_initial is None else min(best_initial, t_initial)
         best_reverify = t_reverify if best_reverify is None else min(best_reverify, t_reverify)
+    total_checks = result.rerun_checks + result.cached_checks
     return {
         "routers": n,
         "edit": "one extra deny clause on one router's external import",
@@ -217,6 +258,11 @@ def reverify_microbench(n: int = 25, rounds: int = 3) -> dict:
         "reverify_fraction_of_initial": round(best_reverify / best_initial, 4),
         "rerun_checks": result.rerun_checks,
         "cached_checks": result.cached_checks,
+        # Owner-index witness: how many checks the reverify examined vs.
+        # the full cache a digest walk would have touched.
+        "checks_consulted": result.checks_consulted,
+        "checks_total": total_checks,
+        "consulted_fraction": round(result.checks_consulted / total_checks, 4),
     }
 
 
@@ -307,6 +353,7 @@ def perf_baseline(json_path: str, sizes=(25, 50), rounds: int = 3) -> dict:
             }
         record["sweeps"].append(entry)
     record["reverify"] = reverify_microbench()
+    record["liveness"] = liveness_microbench()
     Path(json_path).write_text(json.dumps(record, indent=2) + "\n")
     return record
 

@@ -125,6 +125,14 @@ class _FrozenGhost(dict):
     def __hash__(self) -> int:  # type: ignore[override]
         return hash(frozenset(self.items()))
 
+    def __reduce__(self):
+        # The default dict-subclass reduction repopulates via __setitem__,
+        # which is blocked below — without this, any counterexample route
+        # carrying a ghost value is unpicklable and silently knocks the
+        # process backend back to the serial path.  The constructor fills
+        # the dict at the C level, so round-tripping through it is safe.
+        return (self.__class__, (dict(self),))
+
     def _blocked(self, *args: object, **kwargs: object) -> None:
         raise TypeError("ghost mapping is immutable; use Route.with_ghost")
 

@@ -104,23 +104,27 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         parallel, backend = args.parallel, "thread"
     else:
         parallel, backend = None, "auto"
-    engine = Lightyear(config, ghosts=ghosts, parallel=parallel, backend=backend)
+    # The engine keeps one session pool (and, with --jobs, one persistent
+    # worker pool) alive across every property in the spec, so encodings
+    # built for the first property are reused by all later ones.
+    with Lightyear(
+        config, ghosts=ghosts, parallel=parallel, backend=backend
+    ) as engine:
+        all_passed = True
+        for sspec in spec.safety:
+            invariants = sspec.build_invariants(config.topology)
+            report = engine.verify_safety(
+                sspec.property, invariants, conflict_budget=args.budget
+            )
+            print(format_safety_report(report, verbose=args.verbose))
+            print()
+            all_passed &= report.passed
 
-    all_passed = True
-    for sspec in spec.safety:
-        invariants = sspec.build_invariants(config.topology)
-        report = engine.verify_safety(
-            sspec.property, invariants, conflict_budget=args.budget
-        )
-        print(format_safety_report(report, verbose=args.verbose))
-        print()
-        all_passed &= report.passed
-
-    for prop in spec.liveness:
-        report = engine.verify_liveness(prop, conflict_budget=args.budget)
-        print(format_liveness_report(report, verbose=args.verbose))
-        print()
-        all_passed &= report.passed
+        for prop in spec.liveness:
+            report = engine.verify_liveness(prop, conflict_budget=args.budget)
+            print(format_liveness_report(report, verbose=args.verbose))
+            print()
+            all_passed &= report.passed
 
     print(
         f"totals: {engine.stats.num_checks} local checks, "

@@ -236,6 +236,22 @@ def check_owner(check: LocalCheck) -> str | None:
     return check.edge.src
 
 
+def group_checks_by_owner(
+    checks: "list[LocalCheck]",
+) -> "dict[str | None, list[LocalCheck]]":
+    """Group checks by owner router, preserving first-seen group order.
+
+    This is the owner index both reuse mechanisms are built on: the
+    incremental verifier re-runs exactly one group per edited router, and
+    the worker pool routes each group to a fixed worker so that worker's
+    per-owner session encoding stays hot.
+    """
+    groups: dict[str | None, list[LocalCheck]] = {}
+    for check in checks:
+        groups.setdefault(check_owner(check), []).append(check)
+    return groups
+
+
 def _merge_stats(a: SolverStats, b: SolverStats) -> SolverStats:
     merged = SolverStats(
         num_vars=max(a.num_vars, b.num_vars),

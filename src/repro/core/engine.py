@@ -6,6 +6,14 @@ local checks, run them, and report verified properties or localised
 counterexamples.  It also surfaces the measurements the paper's evaluation
 plots: number of checks, the largest per-check SMT encoding, and
 solve-vs-total time.
+
+The engine owns the reuse substrate for its lifetime: one owner-keyed
+:class:`repro.smt.SessionPool` shared by every ``verify_*`` call (so a
+spec file with many properties re-encodes each router's transfer terms
+once, not once per property), and — when ``parallel`` > 1 with a process
+backend — one persistent :class:`repro.core.parallel.WorkerPool` whose
+worker processes keep their own sessions across calls.  ``close()`` (or
+use as a context manager) releases the workers.
 """
 
 from __future__ import annotations
@@ -14,9 +22,11 @@ from dataclasses import dataclass
 
 from repro.bgp.config import NetworkConfig
 from repro.core.liveness import LivenessReport, verify_liveness
+from repro.core.parallel import WorkerPool
 from repro.core.properties import InvariantMap, LivenessProperty, SafetyProperty
-from repro.core.safety import BACKENDS, SafetyReport, verify_safety
+from repro.core.safety import BACKENDS, SafetyReport, resolve_jobs, verify_safety
 from repro.lang.ghost import GhostAttribute
+from repro.smt.solver import SessionPool
 
 
 @dataclass
@@ -73,6 +83,31 @@ class Lightyear:
         self.parallel = parallel
         self.backend = backend
         self.stats = EngineStats()
+        self.sessions = SessionPool()
+        self._worker_pool: WorkerPool | None = None
+
+    def _workers(self) -> WorkerPool | None:
+        """The engine's persistent worker pool, created on first use."""
+        if self.backend not in ("auto", "process"):
+            return None
+        jobs = resolve_jobs(self.parallel)
+        if jobs < 2:
+            return None
+        if self._worker_pool is None:
+            self._worker_pool = WorkerPool(jobs)
+        return self._worker_pool
+
+    def close(self) -> None:
+        """Release the persistent worker processes, if any."""
+        if self._worker_pool is not None:
+            self._worker_pool.close()
+            self._worker_pool = None
+
+    def __enter__(self) -> "Lightyear":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def invariants(self, default=None) -> InvariantMap:
         """A fresh invariant map over this network's topology."""
@@ -93,6 +128,8 @@ class Lightyear:
             parallel=self.parallel,
             conflict_budget=conflict_budget,
             backend=self.backend,
+            sessions=self.sessions,
+            workers=self._workers(),
         )
         self.stats.absorb(report)
         return report
@@ -112,6 +149,8 @@ class Lightyear:
             parallel=self.parallel,
             conflict_budget=conflict_budget,
             backend=self.backend,
+            sessions=self.sessions,
+            workers=self._workers(),
         )
         self.stats.absorb(report)
         return report

@@ -10,6 +10,14 @@ Everything else — including the property-implication check, which depends
 only on the user's invariants — is reused from the previous run.  This is
 the incremental benefit §2 and §7 claim; the ablation benchmark measures
 the saving.
+
+The cache is an **owner index**: checks and their outcomes are stored
+grouped by owner router (:func:`repro.core.checks.group_checks_by_owner`),
+so a reverify compares per-router digests (O(routers)) and then touches
+only the changed owners' groups — it never walks, hashes, or re-keys the
+unchanged owners' checks.  ``IncrementalResult.checks_consulted`` counts
+the checks a run actually examined; a single-router edit consults exactly
+that router's group.
 """
 
 from __future__ import annotations
@@ -23,16 +31,14 @@ from repro.core.checks import (
     LocalCheck,
     check_owner,
     generate_safety_checks,
+    group_checks_by_owner,
 )
+from repro.core.parallel import WorkerPool
 from repro.core.properties import InvariantMap, SafetyProperty
-from repro.core.safety import SafetyReport, build_universe, run_checks
+from repro.core.safety import SafetyReport, build_universe, resolve_jobs, run_checks
 from repro.lang.ghost import GhostAttribute
 from repro.lang.universe import AttributeUniverse
 from repro.smt.solver import SessionPool
-
-
-def _check_key(check: LocalCheck) -> tuple:
-    return (check.kind.value, check.edge, check.location)
 
 
 @dataclass
@@ -42,6 +48,12 @@ class IncrementalResult:
     report: SafetyReport
     rerun_checks: int
     cached_checks: int
+    # Checks whose cache entries this run individually examined or wrote.
+    # In the owner-indexed implementation this equals ``rerun_checks`` *by
+    # design* — cached groups are reused wholesale, never inspected
+    # per-check — and that equality is the O(changed-owner) claim: the
+    # pre-index digest walk examined every cached check on every run.
+    checks_consulted: int = 0
 
     @property
     def reuse_fraction(self) -> float:
@@ -52,11 +64,12 @@ class IncrementalResult:
 class IncrementalVerifier:
     """Verify once, then re-verify cheaply after per-router config edits.
 
-    The verifier caches each local check's outcome keyed by the owning
-    router's configuration digest.  ``reverify`` with an updated
-    :class:`NetworkConfig` (same topology) re-runs only checks whose owner
-    digest changed.  Changing the property or invariants requires a new
-    verifier — those inputs touch every check.
+    The verifier caches each local check's outcome grouped by the owning
+    router, keyed by that router's configuration digest.  ``reverify`` with
+    an updated :class:`NetworkConfig` (same topology) re-runs only the
+    groups whose owner digest changed — cost is O(changed owner), not a
+    walk over the full outcome cache.  Changing the property or invariants
+    requires a new verifier — those inputs touch every check.
 
     Between runs the verifier also keeps the expensive substrate alive:
 
@@ -64,6 +77,10 @@ class IncrementalVerifier:
       router.  A rerun check is discharged against its owner's existing
       clause database, so only the *changed* transfer terms are encoded;
       owners whose digest is unchanged see no solver activity at all.
+    * ``workers`` — with ``parallel`` > 1 and a process backend, one
+      persistent :class:`WorkerPool` whose worker processes keep their own
+      owner-keyed sessions across ``reverify`` calls (created lazily;
+      ``close()`` releases it).
     * the attribute universe and generated check list, which are rebuilt
       only when a digest actually changed (and the universe object is
       swapped only when its *content* changed, keeping the symbolic-route
@@ -85,12 +102,35 @@ class IncrementalVerifier:
         self.parallel = parallel
         self.backend = backend
         self._config = config
-        self._outcomes: dict[tuple, CheckOutcome] = {}
         self._digests: dict[str, str] = {}
         self._universe: AttributeUniverse | None = None
-        self._checks: list[LocalCheck] | None = None
+        self._checks_by_owner: dict[str | None, list[LocalCheck]] | None = None
+        self._outcomes_by_owner: dict[str | None, list[CheckOutcome]] = {}
         self.sessions = SessionPool()
+        self._worker_pool: WorkerPool | None = None
         self.universe_builds = 0
+
+    # Kept for introspection/tests: the flat check list, in group order.
+    @property
+    def _checks(self) -> list[LocalCheck] | None:
+        if self._checks_by_owner is None:
+            return None
+        return [c for group in self._checks_by_owner.values() for c in group]
+
+    def _workers(self) -> WorkerPool | None:
+        if self.backend not in ("auto", "process"):
+            return None
+        if resolve_jobs(self.parallel) < 2:
+            return None
+        if self._worker_pool is None:
+            self._worker_pool = WorkerPool(resolve_jobs(self.parallel))
+        return self._worker_pool
+
+    def close(self) -> None:
+        """Release the persistent worker pool (sessions die with it)."""
+        if self._worker_pool is not None:
+            self._worker_pool.close()
+            self._worker_pool = None
 
     def verify(self) -> IncrementalResult:
         """Initial full verification (populates the cache)."""
@@ -103,19 +143,24 @@ class IncrementalVerifier:
             or new_config.topology.edges != self._config.topology.edges
         ):
             # Topology changes regenerate the check set; start over.
-            self._outcomes.clear()
+            self._outcomes_by_owner.clear()
             self._digests.clear()
             self._universe = None
-            self._checks = None
+            self._checks_by_owner = None
             self.sessions.clear()
+            # Worker-side sessions and contexts describe the old topology;
+            # release them too (a fresh pool is created lazily on demand).
+            self.close()
         self._config = new_config
         return self._run(new_config, full=False)
 
     # ------------------------------------------------------------------
 
-    def _refresh_problem(self, config: NetworkConfig, new_digests: dict[str, str]) -> None:
+    def _refresh_problem(
+        self, config: NetworkConfig, changed: set[str]
+    ) -> None:
         """Rebuild universe/checks only when some router's policy changed."""
-        if self._universe is not None and new_digests == self._digests:
+        if self._universe is not None and not changed:
             return
         universe = build_universe(
             config, self.invariants, [self.prop.predicate], self.ghosts
@@ -125,50 +170,59 @@ class IncrementalVerifier:
             # existing object so downstream value-keyed caches stay warm.
             self._universe = universe
             self.universe_builds += 1
-        if self._checks is None:
-            self._checks = generate_safety_checks(
-                config, self.invariants, self.prop.location, self.prop.predicate
+        if self._checks_by_owner is None:
+            self._checks_by_owner = group_checks_by_owner(
+                generate_safety_checks(
+                    config, self.invariants, self.prop.location, self.prop.predicate
+                )
             )
         else:
-            # Refresh only the edited owners' checks (their route-map
+            # Refresh only the edited owners' groups (their route-map
             # metadata or originations may have changed); everything else —
-            # including the owner-less implication check — carries over.
-            changed = {
-                name
-                for name, digest in new_digests.items()
-                if self._digests.get(name) != digest
-            }
-            kept = [c for c in self._checks if check_owner(c) not in changed]
-            self._checks = kept + generate_safety_checks(
-                config,
-                self.invariants,
-                self.prop.location,
-                self.prop.predicate,
-                owners=changed,
+            # including the owner-less implication group — carries over.
+            fresh_groups = group_checks_by_owner(
+                generate_safety_checks(
+                    config,
+                    self.invariants,
+                    self.prop.location,
+                    self.prop.predicate,
+                    owners=changed,
+                )
             )
+            for owner in changed:
+                self._checks_by_owner[owner] = fresh_groups.get(owner, [])
 
     def _run(self, config: NetworkConfig, full: bool) -> IncrementalResult:
         start = time.perf_counter()
         new_digests = config.policy_digests()
-        self._refresh_problem(config, new_digests)
+        changed = {
+            name
+            for name, digest in new_digests.items()
+            if self._digests.get(name) != digest
+        }
+        self._refresh_problem(config, changed)
         universe = self._universe
-        checks = self._checks
-        assert universe is not None and checks is not None
+        groups = self._checks_by_owner
+        assert universe is not None and groups is not None
+
+        if full:
+            rerun_owners = set(groups)
+        else:
+            # O(changed owner): only edited routers' groups, plus any group
+            # with no cached outcomes yet (first run after a topology reset).
+            rerun_owners = {owner for owner in changed if owner in groups}
+            rerun_owners |= {
+                owner for owner in groups if owner not in self._outcomes_by_owner
+            }
 
         to_run: list[LocalCheck] = []
+        for owner in groups:
+            if owner in rerun_owners:
+                to_run.extend(groups[owner])
         cached: list[CheckOutcome] = []
-        for check in checks:
-            key = _check_key(check)
-            owner = check_owner(check)
-            unchanged = (
-                not full
-                and key in self._outcomes
-                and (owner is None or self._digests.get(owner) == new_digests.get(owner))
-            )
-            if unchanged:
-                cached.append(self._outcomes[key])
-            else:
-                to_run.append(check)
+        for owner in groups:
+            if owner not in rerun_owners:
+                cached.extend(self._outcomes_by_owner[owner])
 
         fresh = run_checks(
             to_run,
@@ -178,9 +232,13 @@ class IncrementalVerifier:
             parallel=self.parallel,
             backend=self.backend,
             sessions=self.sessions,
+            workers=self._workers(),
         )
+        fresh_by_owner: dict[str | None, list[CheckOutcome]] = {}
         for check, outcome in zip(to_run, fresh):
-            self._outcomes[_check_key(check)] = outcome
+            fresh_by_owner.setdefault(check_owner(check), []).append(outcome)
+        for owner in rerun_owners:
+            self._outcomes_by_owner[owner] = fresh_by_owner.get(owner, [])
         self._digests = new_digests
 
         report = SafetyReport(
@@ -189,5 +247,8 @@ class IncrementalVerifier:
             wall_time_s=time.perf_counter() - start,
         )
         return IncrementalResult(
-            report=report, rerun_checks=len(fresh), cached_checks=len(cached)
+            report=report,
+            rerun_checks=len(fresh),
+            cached_checks=len(cached),
+            checks_consulted=len(to_run),
         )

@@ -12,6 +12,18 @@ A liveness property needs three ingredients beyond safety:
 If everything passes, then — provided the neighbor actually announces a
 ``C_1`` route and no link *on the path* fails — a ``P`` route reaches the
 target location (§5.3 theorem).  Failures elsewhere are tolerated.
+
+Encoding reuse mirrors the §4 pipeline: one **covering universe**
+(:func:`liveness_universe`) spans the property, the path constraints, and
+every no-interference sub-proof's invariants — including caller-supplied
+``interference_invariants`` — and one owner-keyed
+:class:`repro.smt.SessionPool` is threaded through the propagation checks,
+the final implication (discharged via ``run_checks`` like everything else,
+so it honours the selected backend), and each sub-proof's
+``verify_safety`` call.  A caller can pass its own ``universe``/
+``sessions``/``workers`` to extend the sharing across many liveness
+properties, the way the Table-4c sweep does
+(:func:`repro.workloads.wan_properties.verify_ip_reuse_liveness_problems`).
 """
 
 from __future__ import annotations
@@ -23,11 +35,13 @@ from repro.bgp.config import NetworkConfig
 from repro.bgp.topology import Edge
 from repro.core.checks import CheckKind, CheckOutcome, LocalCheck
 from repro.core.counterexample import CheckFailure
+from repro.core.parallel import WorkerPool
 from repro.core.properties import InvariantMap, LivenessProperty, SafetyProperty
 from repro.core.safety import SafetyReport, build_universe, run_checks, verify_safety
 from repro.lang.ghost import GhostAttribute
 from repro.lang.predicates import Implies, Predicate, PrefixIn, TruePred, prefix_projection
 from repro.lang.universe import AttributeUniverse
+from repro.smt.solver import SessionPool
 
 
 @dataclass
@@ -165,6 +179,49 @@ def interference_properties(prop: LivenessProperty) -> dict[str, SafetyProperty]
     return properties
 
 
+def liveness_predicates(
+    prop: LivenessProperty,
+    interference_invariants: dict[str, InvariantMap] | None = None,
+) -> list[Predicate]:
+    """Every predicate the §5 pipeline for ``prop`` can mention.
+
+    This is the covering contract in one place: the property and path
+    constraints (propagation and implication checks), each no-interference
+    property, and every predicate in caller-supplied
+    ``interference_invariants``.  Sweep runners that hoist one universe
+    over many liveness properties concatenate these lists rather than
+    re-deriving the collection (and drifting from it).
+    """
+    preds: list[Predicate] = [prop.predicate, *prop.constraints]
+    for router, safety_prop in interference_properties(prop).items():
+        preds.append(safety_prop.predicate)
+        if interference_invariants and router in interference_invariants:
+            inv = interference_invariants[router]
+            preds.append(inv.default)
+            preds.extend(inv.get(loc) for loc in inv.overridden_locations())
+    return preds
+
+
+def liveness_universe(
+    config: NetworkConfig,
+    prop: LivenessProperty,
+    interference_invariants: dict[str, InvariantMap] | None = None,
+    ghosts: tuple[GhostAttribute, ...] = (),
+) -> AttributeUniverse:
+    """One attribute universe covering the entire §5 pipeline.
+
+    The universe must content-cover every universe a sub-step would have
+    built for itself — crucially including the atoms (communities, ASNs,
+    ghosts) of ``interference_invariants`` predicates, which need not
+    appear anywhere in the constraints.  Hoisting one superset universe is
+    sound: the finite abstraction only distinguishes *more* values, and
+    every predicate a check mentions still has its atoms present.
+    """
+    return build_universe(
+        config, None, liveness_predicates(prop, interference_invariants), ghosts
+    )
+
+
 def verify_liveness(
     config: NetworkConfig,
     prop: LivenessProperty,
@@ -173,6 +230,9 @@ def verify_liveness(
     parallel: int | str | None = None,
     conflict_budget: int | None = None,
     backend: str = "auto",
+    universe: AttributeUniverse | None = None,
+    sessions: SessionPool | None = None,
+    workers: WorkerPool | None = None,
 ) -> LivenessReport:
     """Verify a liveness property (the §5 pipeline).
 
@@ -181,21 +241,26 @@ def verify_liveness(
     default inductive shape is used: the no-interference predicate itself at
     every internal location (with external edges pinned to True) — the
     three-part structure §2.1 describes.
+
+    ``universe`` overrides the covering universe (it must content-cover
+    :func:`liveness_universe`'s result); ``sessions`` supplies a persistent
+    owner-keyed :class:`SessionPool` and ``workers`` a persistent
+    :class:`WorkerPool` — both default to pipeline-local pools, so even a
+    one-shot call shares encodings between the propagation checks, the
+    implication, and all no-interference sub-proofs.
     """
     start = time.perf_counter()
     prop.validate_against(config.topology)
 
-    universe = build_universe(
-        config,
-        None,
-        [prop.predicate, *prop.constraints],
-        ghosts,
-    )
+    if universe is None:
+        universe = liveness_universe(config, prop, interference_invariants, ghosts)
+    pool = sessions if sessions is not None else SessionPool()
 
     propagation = generate_propagation_checks(config, prop)
     propagation_outcomes = run_checks(
         propagation, config, universe, ghosts, parallel=parallel,
         conflict_budget=conflict_budget, backend=backend,
+        sessions=pool, workers=workers,
     )
 
     implication = LocalCheck(
@@ -208,7 +273,11 @@ def verify_liveness(
             f"implication check at {prop.location}: C_n implies the property"
         ),
     )
-    implication_outcome = implication.run(config, universe, ghosts, conflict_budget)
+    implication_outcome = run_checks(
+        [implication], config, universe, ghosts, parallel=parallel,
+        conflict_budget=conflict_budget, backend=backend,
+        sessions=pool, workers=workers,
+    )[0]
 
     interference_reports: dict[str, SafetyReport] = {}
     for router, safety_prop in interference_properties(prop).items():
@@ -221,9 +290,12 @@ def verify_liveness(
             safety_prop,
             inv,
             ghosts=ghosts,
+            universe=universe,
             parallel=parallel,
             conflict_budget=conflict_budget,
             backend=backend,
+            sessions=pool,
+            workers=workers,
         )
 
     return LivenessReport(

@@ -4,29 +4,46 @@ The paper's deployment discharges local checks as separate processes, one
 per device; this module is the reproduction of that execution model.  The
 driver chunks a check list by owner router (:func:`repro.core.checks.
 check_owner`), ships the immutable problem context — configuration,
-attribute universe, ghosts, conflict budget — to each worker exactly once
-through the pool initializer, and runs every chunk inside its own
-:class:`repro.smt.CheckSession` so the per-owner shared encoding stays hot
-within a worker.  Outcomes (including counterexamples) are plain picklable
-dataclasses and stream back tagged with their original index, so callers
-see results in input order regardless of scheduling.
+attribute universe, ghosts, conflict budget — to each worker exactly once,
+and runs every chunk against a per-owner :class:`repro.smt.CheckSession`
+so the shared encoding stays hot within a worker.  Outcomes (including
+counterexamples) are plain picklable dataclasses and stream back tagged
+with their original index, so callers see results in input order
+regardless of scheduling.
+
+Two execution models share that chunking:
+
+* :func:`run_checks_in_processes` — a one-shot ``ProcessPoolExecutor``
+  whose workers die with the call; sessions live for one chunk.
+* :class:`WorkerPool` — *persistent* worker processes that survive across
+  ``run_checks`` calls.  Each worker keeps an owner-keyed
+  :class:`repro.smt.SessionPool` for its whole life and caches every
+  problem context it has ever been shipped, and the parent routes each
+  owner's chunks to a fixed worker (first-seen round-robin affinity), so a
+  repeated invocation — incremental re-verification, a multi-family WAN
+  sweep, the liveness sub-proof loop — re-solves against the clause
+  databases earlier calls already built instead of re-encoding from
+  scratch.  This is the process-backend analogue of passing one
+  ``SessionPool`` through the serial path.
 
 Process pools are not universally available (sandboxes without semaphores,
-restricted spawn semantics); :func:`run_checks_in_processes` returns
-``None`` in that case and the caller falls back to the serial session path,
-which computes identical outcomes.
+restricted spawn semantics); both models degrade gracefully — ``None`` is
+returned and the caller falls back to the serial session path, which
+computes identical outcomes.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import pickle
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import TYPE_CHECKING, Sequence
 
 from repro.core.checks import check_owner
 from repro.lang.transfer import set_transfer_cache_enabled, transfer_cache_enabled
-from repro.smt.solver import CheckSession
+from repro.smt.solver import CheckSession, SessionPool
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.bgp.config import NetworkConfig
@@ -110,3 +127,353 @@ def run_checks_in_processes(
         return outcomes  # type: ignore[return-value]
     except (OSError, BrokenProcessPool, pickle.PicklingError, EOFError, ImportError):
         return None
+
+
+# ---------------------------------------------------------------------------
+# Persistent worker pool
+# ---------------------------------------------------------------------------
+
+
+def _persistent_worker_main(task_queue, result_queue) -> None:
+    """The loop a persistent worker runs for its whole life.
+
+    Contexts arrive once per (worker, problem) and are cached by token;
+    sessions are drawn from one owner-keyed pool that is never discarded,
+    so a chunk for an owner this worker has seen before re-solves against
+    the clause database the earlier chunk built.
+    """
+    contexts: dict[int, tuple] = {}
+    sessions = SessionPool()
+    while True:
+        try:
+            message = task_queue.get()
+        except (EOFError, OSError):  # parent went away mid-read
+            return
+        kind = message[0]
+        if kind == "stop":
+            return
+        if kind == "context":
+            __, token, payload = message
+            contexts[token] = payload
+            continue
+        if kind == "drop":
+            contexts.pop(message[1], None)
+            continue
+        __, run_id, chunk_index, token, indexed_checks = message
+        try:
+            config, universe, ghosts, conflict_budget, cache_enabled = contexts[token]
+            # Re-apply per chunk, not just at context arrival: chunks for an
+            # earlier context may follow a context with the other setting.
+            set_transfer_cache_enabled(cache_enabled)
+            owner = check_owner(indexed_checks[0][1])
+            session = sessions.get(owner)
+            vars_before = session.total_vars
+            clauses_before = session.total_clauses
+            pairs = [
+                (index, check.run(config, universe, ghosts, conflict_budget, session=session))
+                for index, check in indexed_checks
+            ]
+            grew = (
+                session.total_vars - vars_before,
+                session.total_clauses - clauses_before,
+            )
+            reply = (run_id, chunk_index, "ok", owner, pairs, grew)
+        except Exception as exc:  # genuine check failure: ship it back
+            reply = (run_id, chunk_index, "error", exc)
+        try:
+            result_queue.put(reply)
+        except Exception:
+            # The reply failed to serialise (an unpicklable outcome or
+            # exception).  That is pool machinery failing, not the check:
+            # report it as such so the parent degrades to the serial path,
+            # matching run_checks_in_processes's PicklingError behaviour.
+            result_queue.put((run_id, chunk_index, "machinery"))
+
+
+class WorkerPool:
+    """Persistent worker processes with per-worker owner-keyed sessions.
+
+    Unlike :func:`run_checks_in_processes`, whose workers (and therefore
+    encodings) die with each call, a ``WorkerPool`` is an object the caller
+    keeps: :class:`repro.core.engine.Lightyear`, :class:`repro.core.
+    incremental.IncrementalVerifier`, and the WAN sweep runners hold one
+    across ``run_checks`` calls.  Three mechanisms make repeat calls cheap:
+
+    * **owner affinity** — each owner router is pinned to one worker on
+      first sight (round-robin), so all of an owner's chunks, across all
+      calls, hit the same worker's session for that owner;
+    * **context caching** — the (config, universe, ghosts, budget) payload
+      is shipped to a worker at most once per distinct problem, identified
+      by a content fingerprint (policy digests + topology + universe), and
+      cached worker-side by token;
+    * **persistent sessions** — workers never drop their
+      :class:`repro.smt.SessionPool`, so re-solving a chunk adds zero
+      encoding (``last_encoding_growth`` is the witness).
+
+    ``run`` returns outcomes in input order, or ``None`` when the pool
+    machinery is unavailable or broke (no semaphore support, dead workers,
+    unpicklable payloads) — the caller then falls back to the serial path,
+    which computes identical outcomes.  Genuine exceptions raised by a
+    check itself still propagate.
+    """
+
+    def __init__(self, jobs: int, max_contexts: int = 8) -> None:
+        if jobs < 1:
+            raise ValueError(f"WorkerPool needs at least one worker, got {jobs}")
+        self.jobs = jobs
+        # Bound on retained problem contexts: a long-lived pool serving many
+        # successive config edits would otherwise accumulate a full
+        # config+universe payload per edit, parent- and worker-side.  Oldest
+        # contexts are evicted FIFO (workers are told to drop them too);
+        # worker sessions stay, they are keyed by owner and always sound.
+        self.max_contexts = max(1, max_contexts)
+        self._workers: list[tuple] = []  # (Process, task SimpleQueue)
+        self._results = None
+        self._shipped: list[set[int]] = []  # per-worker shipped context tokens
+        self._tokens: dict[tuple, int] = {}  # fingerprint -> context token
+        self._payloads: dict[int, tuple] = {}  # token -> context payload
+        self._token_fingerprints: dict[int, tuple] = {}
+        self._token_order: list[int] = []  # FIFO for eviction
+        self._next_token = 0
+        self._owner_assignment: dict[object, int] = {}
+        self._next_worker = 0
+        self._run_counter = 0
+        self._broken = False
+        self._closed = False
+        # Reuse telemetry (tests and benchmarks read these).
+        self.contexts_shipped = 0
+        self.chunks_run = 0
+        self.last_encoding_growth: dict[object, tuple[int, int]] = {}
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _start(self) -> bool:
+        if self._workers:
+            return True
+        if self._broken or self._closed:
+            return False
+        try:
+            ctx = multiprocessing.get_context()
+            self._results = ctx.SimpleQueue()
+            for __ in range(self.jobs):
+                task_queue = ctx.SimpleQueue()
+                process = ctx.Process(
+                    target=_persistent_worker_main,
+                    args=(task_queue, self._results),
+                    daemon=True,
+                )
+                process.start()
+                self._workers.append((process, task_queue))
+                self._shipped.append(set())
+        except (OSError, ImportError, ValueError):
+            self._abandon()
+            return False
+        return True
+
+    def _abandon(self) -> None:
+        """Tear the pool down after a machinery failure; callers go serial."""
+        for process, __ in self._workers:
+            try:
+                process.terminate()
+            except (OSError, ValueError):
+                pass
+        self._workers = []
+        self._shipped = []
+        self._results = None
+        self._broken = True
+
+    def close(self) -> None:
+        """Stop the workers gracefully.  The pool cannot be restarted."""
+        for __, task_queue in self._workers:
+            try:
+                task_queue.put(("stop",))
+            except (OSError, ValueError):
+                pass
+        for process, __ in self._workers:
+            process.join(timeout=5)
+            if process.is_alive():
+                process.terminate()
+        self._workers = []
+        self._shipped = []
+        self._results = None
+        self._closed = True
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- dispatch ------------------------------------------------------
+
+    @staticmethod
+    def _fingerprint(
+        config: "NetworkConfig",
+        universe: "AttributeUniverse",
+        ghosts: tuple["GhostAttribute", ...],
+        conflict_budget: int | None,
+    ) -> tuple:
+        """A hashable content identity for one problem context.
+
+        Callers routinely rebuild equal configs (or edit one in place), so
+        identity has to come from content: per-router policy digests plus
+        topology, not object ids — an id-keyed shortcut would serve stale
+        contexts after an in-place edit.  Recomputing is cheap: route-map
+        digests are memoised by content, leaving one small sha256 per
+        router per call.  Ghosts are flattened to sorted tuples because
+        their dict fields make them unhashable as-is.
+        """
+        frozen_ghosts = tuple(
+            (
+                g.name,
+                g.originated_value,
+                tuple(sorted(g.import_updates.items())),
+                tuple(sorted(g.export_updates.items())),
+            )
+            for g in ghosts
+        )
+        return (
+            tuple(sorted(config.policy_digests().items())),
+            tuple(sorted(config.topology.routers)),
+            tuple(sorted(config.topology.edges)),
+            tuple(sorted(config.external_asns.items())),
+            universe,
+            frozen_ghosts,
+            conflict_budget,
+            transfer_cache_enabled(),
+        )
+
+    def _evict_oldest_context(self) -> None:
+        """Forget the oldest context, parent- and worker-side.
+
+        Stale chunks still queued for the dropped token belong to abandoned
+        runs; their error replies carry an old run id and are filtered out.
+        """
+        token = self._token_order.pop(0)
+        del self._payloads[token]
+        fingerprint = self._token_fingerprints.pop(token)
+        del self._tokens[fingerprint]
+        for worker_index, shipped in enumerate(self._shipped):
+            if token in shipped:
+                shipped.discard(token)
+                try:
+                    self._workers[worker_index][1].put(("drop", token))
+                except (OSError, ValueError):
+                    pass
+
+    def _worker_for(self, owner: object, worker_count: int) -> int:
+        worker_index = self._owner_assignment.get(owner)
+        if worker_index is None:
+            worker_index = self._next_worker % worker_count
+            self._owner_assignment[owner] = worker_index
+            self._next_worker += 1
+        return worker_index
+
+    def run(
+        self,
+        checks: Sequence["LocalCheck"],
+        config: "NetworkConfig",
+        universe: "AttributeUniverse",
+        ghosts: tuple["GhostAttribute", ...] = (),
+        conflict_budget: int | None = None,
+    ) -> "list[CheckOutcome] | None":
+        """Run checks on the persistent workers; None if the pool is unusable."""
+        chunks = chunk_by_owner(checks)
+        if not chunks:
+            return []
+        if not self._start():
+            return None
+        fingerprint = self._fingerprint(config, universe, ghosts, conflict_budget)
+        token = self._tokens.get(fingerprint)
+        if token is None:
+            while len(self._token_order) >= self.max_contexts:
+                self._evict_oldest_context()
+            token = self._next_token
+            self._next_token += 1
+            self._tokens[fingerprint] = token
+            self._token_fingerprints[token] = fingerprint
+            self._token_order.append(token)
+            self._payloads[token] = (
+                config, universe, tuple(ghosts), conflict_budget,
+                transfer_cache_enabled(),
+            )
+        payload = self._payloads[token]
+        self._run_counter += 1
+        run_id = self._run_counter
+
+        # Dispatch from a side thread while this thread drains results —
+        # the same decoupling ProcessPoolExecutor's feeder threads provide.
+        # Blocking puts must never share a thread with the result drain: a
+        # worker blocked writing a reply into a full results pipe stops
+        # reading its task queue, and a parent blocked writing into that
+        # task queue would then never drain the replies — a deadlock on
+        # counterexample-heavy runs.
+        dispatch_error: list[BaseException] = []
+        # Local refs: _abandon may reassign self._workers/_shipped while the
+        # dispatcher is still draining its loop; puts to a terminated
+        # worker's queue then fail into the except below, harmlessly.
+        workers = self._workers
+        shipped = self._shipped
+
+        def _dispatch() -> None:
+            try:
+                for chunk_index, chunk in enumerate(chunks):
+                    owner = check_owner(chunk[0][1])
+                    worker_index = self._worker_for(owner, len(workers))
+                    __, task_queue = workers[worker_index]
+                    if token not in shipped[worker_index]:
+                        # SimpleQueue.put serialises synchronously, so an
+                        # unpicklable payload surfaces here, observable.
+                        task_queue.put(("context", token, payload))
+                        shipped[worker_index].add(token)
+                        self.contexts_shipped += 1
+                    task_queue.put(("chunk", run_id, chunk_index, token, chunk))
+            except (OSError, ValueError, pickle.PicklingError, AttributeError,
+                    TypeError) as exc:
+                dispatch_error.append(exc)
+
+        dispatcher = threading.Thread(target=_dispatch, daemon=True)
+        dispatcher.start()
+
+        pending = set(range(len(chunks)))
+        outcomes: list["CheckOutcome | None"] = [None] * len(checks)
+        growth: dict[object, tuple[int, int]] = {}
+        reader = self._results._reader  # Connection: the only timeout-capable probe
+        while pending:
+            try:
+                if not reader.poll(0.1):
+                    if dispatch_error and not dispatcher.is_alive():
+                        # Some chunks were never sent; their replies will
+                        # never come.  Fall back to the serial path.
+                        self._abandon()
+                        return None
+                    if any(not process.is_alive() for process, __ in self._workers):
+                        self._abandon()
+                        return None
+                    continue
+                reply = self._results.get()
+            except (OSError, EOFError):
+                self._abandon()
+                return None
+            if reply[0] != run_id:
+                continue  # stale reply from an earlier, errored run
+            __, chunk_index, status, *rest = reply
+            if status == "machinery":
+                # An unserialisable reply: pool machinery, not the check.
+                self._abandon()
+                return None
+            if status == "error":
+                # Quiesce the dispatcher (workers keep consuming, so this
+                # converges) before handing the check's exception up.
+                dispatcher.join(timeout=5)
+                raise rest[0]
+            owner, pairs, grew = rest
+            for index, outcome in pairs:
+                outcomes[index] = outcome
+            old = growth.get(owner, (0, 0))
+            growth[owner] = (old[0] + grew[0], old[1] + grew[1])
+            pending.discard(chunk_index)
+        dispatcher.join()
+        self.chunks_run += len(chunks)
+        self.last_encoding_growth = growth
+        return outcomes  # type: ignore[return-value]

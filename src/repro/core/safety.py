@@ -34,7 +34,7 @@ from repro.core.checks import (
     generate_safety_checks,
 )
 from repro.core.counterexample import CheckFailure
-from repro.core.parallel import run_checks_in_processes
+from repro.core.parallel import WorkerPool, run_checks_in_processes
 from repro.core.properties import InvariantMap, SafetyProperty
 from repro.lang.ghost import GhostAttribute
 from repro.lang.predicates import predicate_atoms
@@ -126,8 +126,10 @@ def build_universe(
 def resolve_jobs(parallel: int | str | None) -> int:
     """Normalise a ``parallel`` request to a worker count (1 = serial).
 
-    Accepts ``None``/``0``/``1`` (serial), an integer, or the string
-    ``"auto"`` meaning one worker per available core.
+    Accepts ``None``, an integer >= 0, or the string ``"auto"`` meaning one
+    worker per available core.  ``0`` is an explicit "no parallelism"
+    request and resolves to 1 (serial), exactly like ``None`` and ``1``;
+    only negative counts are rejected.
     """
     if parallel is None:
         return 1
@@ -135,8 +137,12 @@ def resolve_jobs(parallel: int | str | None) -> int:
         return os.cpu_count() or 1
     jobs = int(parallel)
     if jobs < 0:
-        raise ValueError(f"parallel must be >= 0, got {parallel!r}")
-    return max(jobs, 1)
+        raise ValueError(
+            f"parallel must be >= 0 (0 and 1 both mean serial), got {parallel!r}"
+        )
+    if jobs == 0:
+        return 1
+    return jobs
 
 
 def run_checks(
@@ -148,12 +154,13 @@ def run_checks(
     conflict_budget: int | None = None,
     backend: str = "auto",
     sessions: SessionPool | None = None,
+    workers: WorkerPool | None = None,
 ) -> list[CheckOutcome]:
     """Discharge a list of checks; outcomes come back in input order.
 
     Checks are independent, so they parallelise trivially.  ``parallel``
-    is the worker count (``"auto"`` = cpu count; ``None``/``1`` = serial);
-    ``backend`` picks the execution strategy:
+    is the worker count (``"auto"`` = cpu count; ``None``/``0``/``1`` =
+    serial); ``backend`` picks the execution strategy:
 
     * ``"auto"``/``"process"`` — worker processes, one chunk per owner
       router, the paper's per-device model.  Falls back to serial (same
@@ -162,18 +169,33 @@ def run_checks(
       owner router.
     * ``"thread"`` — legacy thread pool, hermetic solver per check.
 
-    ``sessions`` optionally supplies a persistent owner-keyed
-    :class:`SessionPool`; the serial path then draws each owner's session
-    from it (and leaves it populated), so encodings survive across calls —
-    incremental re-verification and multi-family sweeps pass one pool
-    repeatedly.  Worker processes keep their own per-chunk sessions, so a
-    supplied pool is simply unused (outcomes are identical) when the
-    process or thread backend actually runs.
+    Two handles make encodings persistent across calls:
+
+    * ``sessions`` — an owner-keyed :class:`SessionPool` the serial path
+      draws each owner's session from (and leaves populated), so
+      incremental re-verification and multi-family sweeps pass one pool
+      repeatedly and pay only marginal encoding.
+    * ``workers`` — a persistent :class:`repro.core.parallel.WorkerPool`
+      used whenever the backend allows processes; its workers keep their
+      own owner-keyed sessions alive across calls, the process-side
+      analogue of ``sessions``.  If the pool machinery is unavailable the
+      call degrades through the remaining strategies unchanged.
+
+    The one-shot process path (``parallel`` > 1 without ``workers``) keeps
+    per-call workers, so a supplied ``sessions`` pool is simply unused
+    there (outcomes are identical either way).
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
     jobs = resolve_jobs(parallel)
-    if jobs > 1 and backend in ("auto", "process"):
+    if workers is not None and backend in ("auto", "process"):
+        outcomes = workers.run(checks, config, universe, ghosts, conflict_budget)
+        if outcomes is not None:
+            return outcomes
+    # A single check cannot parallelise; forking a one-shot pool for it
+    # (e.g. the liveness implication with parallel > 1 and no WorkerPool)
+    # would be pure overhead, so it takes the serial session path below.
+    if jobs > 1 and len(checks) > 1 and backend in ("auto", "process"):
         outcomes = run_checks_in_processes(
             checks, config, universe, ghosts, conflict_budget, jobs
         )
@@ -206,6 +228,7 @@ def verify_safety(
     conflict_budget: int | None = None,
     backend: str = "auto",
     sessions: SessionPool | None = None,
+    workers: WorkerPool | None = None,
 ) -> SafetyReport:
     """Verify a safety property via local checks (the §4 pipeline)."""
     start = time.perf_counter()
@@ -221,6 +244,7 @@ def verify_safety(
         conflict_budget=conflict_budget,
         backend=backend,
         sessions=sessions,
+        workers=workers,
     )
     return SafetyReport(
         property=prop,
@@ -239,6 +263,7 @@ def verify_safety_family(
     backend: str = "auto",
     universe: AttributeUniverse | None = None,
     sessions: SessionPool | None = None,
+    workers: WorkerPool | None = None,
 ) -> SafetyReport:
     """Verify a family of safety properties sharing one invariant map.
 
@@ -247,10 +272,11 @@ def verify_safety_family(
     invariants, so they run once; only the cheap ``I_l ⊆ P`` implication
     check repeats per property.
 
-    ``universe`` and ``sessions`` let a caller hoist encoding reuse one
-    level further: Table-4 sweeps run many families over the same network,
-    so they build one covering universe and one :class:`SessionPool` and
-    pass both to every family (see
+    ``universe``, ``sessions``, and ``workers`` let a caller hoist
+    encoding reuse one level further: Table-4 sweeps run many families
+    over the same network, so they build one covering universe and one
+    :class:`SessionPool` (or one persistent worker pool) and pass them to
+    every family (see
     :func:`repro.workloads.wan_properties.verify_peering_problems`).
     """
     if not props:
@@ -287,6 +313,7 @@ def verify_safety_family(
         conflict_budget=conflict_budget,
         backend=backend,
         sessions=sessions,
+        workers=workers,
     )
     family_name = props[0].name or "family"
     summary_prop = SafetyProperty(

@@ -433,6 +433,13 @@ class SessionPool:
     session databases are purely definitional and every check is discharged
     under assumptions — so a pool never needs invalidation for correctness;
     ``drop`` exists to bound memory when an owner's policy is gone for good.
+
+    Pools live wherever reuse pays: :class:`repro.core.incremental.
+    IncrementalVerifier` keeps one across ``reverify`` calls, the Table-4
+    sweeps hoist one above their property-family loops, ``verify_liveness``
+    shares one across propagation, implication, and every no-interference
+    sub-proof, and each :class:`repro.core.parallel.WorkerPool` worker
+    process holds its own pool for the checks routed to it.
     """
 
     def __init__(self) -> None:
@@ -476,6 +483,17 @@ class SessionPool:
             key: (s.total_vars, s.total_clauses)
             for key, s in self._sessions.items()
         }
+
+    def total_encoding(self) -> tuple[int, int]:
+        """Summed ``(vars, clauses)`` across all sessions — cheap growth probe.
+
+        Diffing this before/after an operation answers "did anything get
+        re-encoded?" without keying on individual owners; warm-pool
+        benchmarks and tests use it to assert zero marginal encoding.
+        """
+        total_vars = sum(s.total_vars for s in self._sessions.values())
+        total_clauses = sum(s.total_clauses for s in self._sessions.values())
+        return (total_vars, total_clauses)
 
 
 @dataclass

@@ -28,7 +28,9 @@ from repro.bgp.policy import (
 )
 from repro.bgp.prefix import Prefix, PrefixRange
 from repro.bgp.route import Community
-from repro.bgp.topology import Topology
+from repro.bgp.topology import Edge, Topology
+from repro.core.properties import LivenessProperty
+from repro.lang.predicates import PrefixIn
 
 
 TRANSIT_COMMUNITY = Community(100, 1)
@@ -110,3 +112,28 @@ def build_full_mesh(n: int) -> NetworkConfig:
 
     assert not config.validate()
     return config
+
+
+def full_mesh_liveness_property(n: int) -> LivenessProperty:
+    """A passing §5 liveness property on the full mesh (needs ``n`` >= 3).
+
+    A short-prefix route announced by E2 reaches the edge R3 -> E3 along
+    E2 -> R2 -> R3.  Every filter on that path accepts short prefixes
+    unchanged (R2's deny only guards its *export to E2*), and the
+    no-interference predicate ``short => short`` is a tautology, so the
+    whole pipeline — including the two full-network no-interference
+    sub-proofs at R2 and R3 — verifies.  The sub-proofs generate checks on
+    every mesh edge, which is what makes this the liveness analogue of the
+    Figure 3d scaling sweep.
+    """
+    if n < 3:
+        raise ValueError("the full-mesh liveness property needs at least R2 and R3")
+    short = PrefixIn((PrefixRange(Prefix.parse("0.0.0.0/0"), 0, 24),))
+    path = (Edge("E2", "R2"), "R2", Edge("R2", "R3"), "R3", Edge("R3", "E3"))
+    return LivenessProperty(
+        location=Edge("R3", "E3"),
+        predicate=short,
+        path=path,
+        constraints=(short,) * len(path),
+        name="short-prefix-reaches-e3",
+    )

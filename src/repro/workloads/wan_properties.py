@@ -16,7 +16,13 @@ The ``verify_*_problems`` runners additionally hoist encoding reuse above
 the property-family loop: a Table-4 sweep builds **one** attribute universe
 covering every family and **one** persistent :class:`repro.smt.SessionPool`,
 so the transfer-function encodings built for the first family are reused by
-all later ones instead of being rebuilt per family.
+all later ones instead of being rebuilt per family.  The same hoisting
+covers the Table-4c liveness sweep
+(:func:`verify_ip_reuse_liveness_problems`): one universe spanning every
+region's property, constraints, and interference invariants, and one pool
+shared by all regions' propagation/implication/no-interference checks.
+All runners also accept a persistent :class:`repro.core.parallel.
+WorkerPool` for the process backend.
 """
 
 from __future__ import annotations
@@ -26,6 +32,8 @@ from typing import Sequence
 
 from repro.bgp.prefix import Prefix, PrefixRange
 from repro.bgp.topology import Edge
+from repro.core.liveness import LivenessReport, liveness_predicates, verify_liveness
+from repro.core.parallel import WorkerPool
 from repro.core.properties import InvariantMap, LivenessProperty, SafetyProperty
 from repro.core.safety import SafetyReport, build_universe, verify_safety_family
 from repro.smt.solver import SessionPool
@@ -144,6 +152,7 @@ def _verify_problem_families(
     conflict_budget: int | None,
     backend: str,
     sessions: SessionPool | None,
+    workers: WorkerPool | None = None,
 ):
     """Run a list of property-family problems against shared encodings.
 
@@ -177,6 +186,7 @@ def _verify_problem_families(
             backend=backend,
             universe=universe,
             sessions=pool,
+            workers=workers,
         )
         results.append((prob, report))
     return results
@@ -189,6 +199,7 @@ def verify_peering_problems(
     conflict_budget: int | None = None,
     backend: str = "auto",
     sessions: SessionPool | None = None,
+    workers: WorkerPool | None = None,
 ) -> list[tuple[PeeringProblem, SafetyReport]]:
     """Run Table-4a peering families with encodings shared across families.
 
@@ -201,7 +212,7 @@ def verify_peering_problems(
     if problems is None:
         problems = all_peering_problems(wan)
     return _verify_problem_families(
-        wan, problems, parallel, conflict_budget, backend, sessions
+        wan, problems, parallel, conflict_budget, backend, sessions, workers
     )
 
 
@@ -287,6 +298,7 @@ def verify_ip_reuse_safety_problems(
     conflict_budget: int | None = None,
     backend: str = "auto",
     sessions: SessionPool | None = None,
+    workers: WorkerPool | None = None,
 ) -> list[tuple[IpReuseSafetyProblem, SafetyReport]]:
     """Run Table-4b families for many regions with shared encodings.
 
@@ -299,7 +311,7 @@ def verify_ip_reuse_safety_problems(
         regions = range(wan.regions)
     problems = [ip_reuse_safety_problem(wan, region) for region in regions]
     return _verify_problem_families(
-        wan, problems, parallel, conflict_budget, backend, sessions
+        wan, problems, parallel, conflict_budget, backend, sessions, workers
     )
 
 
@@ -394,3 +406,51 @@ def ip_reuse_liveness_problem(
         interference_invariants=interference,
         ghost=ghost,
     )
+
+
+def verify_ip_reuse_liveness_problems(
+    wan: WanNetwork,
+    regions: Sequence[int] | None = None,
+    parallel: int | str | None = None,
+    conflict_budget: int | None = None,
+    backend: str = "auto",
+    sessions: SessionPool | None = None,
+    workers: WorkerPool | None = None,
+) -> list[tuple[IpReuseLivenessProblem, LivenessReport]]:
+    """Run Table-4c liveness problems for many regions with shared encodings.
+
+    One universe covers every region's property, path constraints, *and*
+    interference invariants (whose predicates mention other regions'
+    communities — atoms a per-region universe would otherwise rebuild
+    differently), and one session pool is threaded through every region's
+    propagation, implication, and no-interference checks.  Regions after
+    the first then mostly re-solve against encodings the first built.
+    """
+    if regions is None:
+        regions = range(wan.regions)
+    problems = [ip_reuse_liveness_problem(wan, region) for region in regions]
+    preds: list[Predicate] = []
+    ghosts = []
+    for prob in problems:
+        preds.extend(
+            liveness_predicates(prob.property, prob.interference_invariants)
+        )
+        ghosts.append(prob.ghost)
+    universe = build_universe(wan.config, None, preds, tuple(ghosts))
+    pool = sessions if sessions is not None else SessionPool()
+    results = []
+    for prob in problems:
+        report = verify_liveness(
+            wan.config,
+            prob.property,
+            interference_invariants=prob.interference_invariants,
+            ghosts=(prob.ghost,),
+            parallel=parallel,
+            conflict_budget=conflict_budget,
+            backend=backend,
+            universe=universe,
+            sessions=pool,
+            workers=workers,
+        )
+        results.append((prob, report))
+    return results

@@ -77,6 +77,22 @@ def test_route_ghost_attributes():
         r2.ghost["FromISP1"] = False  # type: ignore[index]
 
 
+def test_route_with_ghosts_pickles_round_trip():
+    """Regression: the frozen ghost mapping's default dict-subclass pickle
+    repopulated via the blocked ``__setitem__``, so any counterexample
+    route carrying a ghost value could not cross a process boundary (and
+    silently knocked the process backend back to serial)."""
+    import pickle
+
+    r = _route().with_ghost("FromISP1", True)
+    for protocol in range(2, pickle.HIGHEST_PROTOCOL + 1):
+        clone = pickle.loads(pickle.dumps(r, protocol=protocol))
+        assert clone == r
+        assert clone.ghost_value("FromISP1") is True
+        with pytest.raises(TypeError):
+            clone.ghost["FromISP1"] = False  # type: ignore[index]
+
+
 def test_route_is_hashable_and_equatable():
     r1 = _route(communities=frozenset({Community(1, 2)}))
     r2 = _route(communities=frozenset({Community(1, 2)}))

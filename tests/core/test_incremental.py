@@ -104,12 +104,13 @@ def test_universe_not_rebuilt_when_nothing_changed(fig1_config, from_isp1):
     v.verify()
     assert v.universe_builds == 1
     universe = v._universe
-    checks = v._checks
+    groups = {owner: id(group) for owner, group in v._checks_by_owner.items()}
 
     v.reverify(build_figure1())
     assert v.universe_builds == 1
     assert v._universe is universe  # same object, not an equal rebuild
-    assert v._checks is checks
+    # Every owner group object survives untouched — nothing regenerated.
+    assert {o: id(g) for o, g in v._checks_by_owner.items()} == groups
 
 
 def test_universe_object_kept_across_content_preserving_edits(fig1_config, from_isp1):
@@ -163,6 +164,39 @@ def test_universe_rebuilt_when_edit_mentions_new_community(fig1_config, from_isp
     assert Community(999, 9) in v._universe.communities
     assert result.rerun_checks == 6
     assert result.report.passed
+
+
+def test_reverify_consults_only_the_edited_owners_checks(fig1_config, from_isp1):
+    """The owner index makes reverify O(changed owner): a single-router
+    edit examines exactly that router's check group, never the full cache."""
+    v = _verifier(fig1_config, from_isp1)
+    initial = v.verify()
+    assert initial.checks_consulted == 19  # a full verify consults everything
+
+    updated = build_figure1()
+    old_map = updated.routers["R3"].neighbors["Customer"].import_map
+    updated.routers["R3"].neighbors["Customer"].import_map = RouteMap(
+        "CUST-IN",
+        (
+            RouteMapClause(
+                1,
+                Disposition.DENY,
+                matches=(MatchPrefix((PrefixRange.parse("192.168.0.0/16 le 32"),)),),
+            ),
+        )
+        + old_map.clauses,
+    )
+    result = v.reverify(updated)
+    assert result.checks_consulted == 6  # R3's owner group, nothing else
+    assert result.rerun_checks == 6
+    assert result.cached_checks == 13
+
+
+def test_noop_reverify_consults_no_checks(fig1_config, from_isp1):
+    v = _verifier(fig1_config, from_isp1)
+    v.verify()
+    result = v.reverify(build_figure1())
+    assert result.checks_consulted == 0
 
 
 def test_topology_change_triggers_full_rerun(fig1_config, from_isp1):

@@ -1,0 +1,189 @@
+"""Tests for the persistent process-backend :class:`WorkerPool`.
+
+The PR-3 claim mirrors the serial ``SessionPool`` one at the process
+level: a pool of long-lived worker processes, each holding owner-keyed
+sessions and cached problem contexts, discharges repeated ``run_checks``
+calls without re-encoding — the per-owner encoding growth counters are the
+witnesses.  Outcomes must be indistinguishable from the serial path, the
+context must be shipped once per worker per problem, and a dead pool must
+degrade to the serial fallback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.policy import DeleteCommunity, RouteMap, RouteMapClause
+from repro.bgp.topology import Edge
+from repro.core.checks import generate_safety_checks
+from repro.core.incremental import IncrementalVerifier
+from repro.core.parallel import WorkerPool
+from repro.core.properties import InvariantMap, SafetyProperty
+from repro.core.safety import build_universe, run_checks, verify_safety
+from repro.lang.ghost import GhostAttribute
+from repro.lang.predicates import GhostIs, HasCommunity, Implies, Not
+from repro.workloads.fullmesh import TRANSIT_COMMUNITY, build_full_mesh
+
+
+def _fullmesh_problem(n: int):
+    config = build_full_mesh(n)
+    ghost = GhostAttribute.source_tracker("FromE1", config.topology, [Edge("E1", "R1")])
+    prop = SafetyProperty(
+        location=Edge("R2", "E2"), predicate=Not(GhostIs("FromE1")), name="no-transit"
+    )
+    invariants = InvariantMap(
+        config.topology,
+        default=Implies(GhostIs("FromE1"), HasCommunity(TRANSIT_COMMUNITY)),
+    )
+    invariants.set_edge("R2", "E2", Not(GhostIs("FromE1")))
+    return config, ghost, prop, invariants
+
+
+def _pieces(config, ghost, prop, invariants):
+    universe = build_universe(config, invariants, [prop.predicate], (ghost,))
+    checks = generate_safety_checks(config, invariants, prop.location, prop.predicate)
+    return universe, checks
+
+
+def _fingerprint(outcome):
+    failure = outcome.failure
+    return (
+        str(outcome.check),
+        outcome.passed,
+        outcome.unknown,
+        None
+        if failure is None
+        else (str(failure.input_route), str(failure.output_route), failure.rejected),
+    )
+
+
+def _pool_or_skip(pool: WorkerPool, outcomes):
+    if outcomes is None:
+        pool.close()
+        pytest.skip("process pools unavailable in this environment")
+    return outcomes
+
+
+def test_worker_pool_matches_serial_outcomes():
+    config, ghost, prop, invariants = _fullmesh_problem(5)
+    universe, checks = _pieces(config, ghost, prop, invariants)
+    serial = run_checks(checks, config, universe, (ghost,))
+    with WorkerPool(2) as pool:
+        pooled = _pool_or_skip(pool, pool.run(checks, config, universe, (ghost,)))
+        assert [_fingerprint(o) for o in pooled] == [_fingerprint(o) for o in serial]
+
+
+def test_worker_pool_ships_counterexamples_back():
+    config, ghost, prop, invariants = _fullmesh_problem(4)
+    strip = RouteMap(
+        "STRIP", (RouteMapClause(10, actions=(DeleteCommunity(TRANSIT_COMMUNITY),)),)
+    )
+    config.routers["R3"].neighbors["R1"].import_map = strip
+    universe, checks = _pieces(config, ghost, prop, invariants)
+    serial = run_checks(checks, config, universe, (ghost,))
+    with WorkerPool(2) as pool:
+        pooled = _pool_or_skip(pool, pool.run(checks, config, universe, (ghost,)))
+        assert [_fingerprint(o) for o in pooled] == [_fingerprint(o) for o in serial]
+        assert any(o.failure is not None for o in pooled)
+
+
+def test_worker_pool_persists_encodings_across_runs():
+    config, ghost, prop, invariants = _fullmesh_problem(5)
+    universe, checks = _pieces(config, ghost, prop, invariants)
+    with WorkerPool(2) as pool:
+        _pool_or_skip(pool, pool.run(checks, config, universe, (ghost,)))
+        # First run builds encodings and ships the context to each worker
+        # that received a chunk — at most once per worker.
+        assert sum(v for v, __ in pool.last_encoding_growth.values()) > 0
+        assert 0 < pool.contexts_shipped <= pool.jobs
+        shipped_once = pool.contexts_shipped
+
+        second = pool.run(checks, config, universe, (ghost,))
+        assert second is not None
+        # Owner affinity + persistent sessions: the rerun re-solves against
+        # the existing clause databases and encodes nothing new anywhere.
+        assert all(g == (0, 0) for g in pool.last_encoding_growth.values()), (
+            pool.last_encoding_growth
+        )
+        # Same problem, same workers: no context re-shipment either.
+        assert pool.contexts_shipped == shipped_once
+
+
+def test_worker_pool_reships_context_for_edited_config():
+    config, ghost, prop, invariants = _fullmesh_problem(4)
+    universe, checks = _pieces(config, ghost, prop, invariants)
+    with WorkerPool(2) as pool:
+        _pool_or_skip(pool, pool.run(checks, config, universe, (ghost,)))
+        shipped_before = pool.contexts_shipped
+
+        edited, ghost2, prop2, invariants2 = _fullmesh_problem(4)
+        strip = RouteMap(
+            "STRIP",
+            (RouteMapClause(10, actions=(DeleteCommunity(TRANSIT_COMMUNITY),)),),
+        )
+        edited.routers["R3"].neighbors["R1"].import_map = strip
+        universe2, checks2 = _pieces(edited, ghost2, prop2, invariants2)
+        serial = run_checks(checks2, edited, universe2, (ghost2,))
+        pooled = pool.run(checks2, edited, universe2, (ghost2,))
+        assert pooled is not None
+        # The edit changes the policy digests, so this is a new context.
+        assert pool.contexts_shipped > shipped_before
+        assert [_fingerprint(o) for o in pooled] == [_fingerprint(o) for o in serial]
+
+
+def test_run_checks_uses_worker_pool_and_falls_back_when_closed():
+    config, ghost, prop, invariants = _fullmesh_problem(4)
+    universe, checks = _pieces(config, ghost, prop, invariants)
+    serial = run_checks(checks, config, universe, (ghost,))
+
+    pool = WorkerPool(2)
+    try:
+        via_pool = run_checks(checks, config, universe, (ghost,), workers=pool)
+        assert [_fingerprint(o) for o in via_pool] == [_fingerprint(o) for o in serial]
+    finally:
+        pool.close()
+    # A closed pool refuses work; run_checks silently takes the serial path.
+    after_close = run_checks(checks, config, universe, (ghost,), workers=pool)
+    assert [_fingerprint(o) for o in after_close] == [_fingerprint(o) for o in serial]
+
+
+def test_verify_safety_with_persistent_workers():
+    config, ghost, prop, invariants = _fullmesh_problem(5)
+    with WorkerPool(2) as pool:
+        first = verify_safety(
+            config, prop, invariants, ghosts=(ghost,), workers=pool
+        )
+        assert first.passed
+        if pool.chunks_run == 0:
+            pytest.skip("process pools unavailable in this environment")
+        second = verify_safety(
+            config, prop, invariants, ghosts=(ghost,), workers=pool
+        )
+        assert second.passed
+        assert all(g == (0, 0) for g in pool.last_encoding_growth.values())
+
+
+def test_incremental_verifier_keeps_workers_across_reverify():
+    config, ghost, prop, invariants = _fullmesh_problem(4)
+    v = IncrementalVerifier(
+        config, prop, invariants, ghosts=(ghost,), parallel=2, backend="process"
+    )
+    try:
+        assert v.verify().report.passed
+        pool = v._worker_pool
+        if pool is None or pool.chunks_run == 0:
+            pytest.skip("process pools unavailable in this environment")
+
+        edited, __, ___, ____ = _fullmesh_problem(4)
+        strip = RouteMap(
+            "STRIP",
+            (RouteMapClause(10, actions=(DeleteCommunity(TRANSIT_COMMUNITY),)),),
+        )
+        edited.routers["R3"].neighbors["R1"].import_map = strip
+        result = v.reverify(edited)
+        assert not result.report.passed
+        # Same WorkerPool object across verify/reverify — workers survived.
+        assert v._worker_pool is pool
+        assert {f.blamed_router for f in result.report.failures} == {"R3"}
+    finally:
+        v.close()
