@@ -15,7 +15,10 @@ PR 1 numbers against the seed, ``BENCH_PR2.json`` the PR 2 numbers against
 both, so later PRs have a trajectory to compare.  ``BENCH_PR3.json`` adds
 a liveness sweep (cold vs. warm session pool on the fullmesh liveness
 property) and a reverify-by-owner micro-benchmark (checks consulted via
-the owner index vs. the full check list).
+the owner index vs. the full check list).  ``BENCH_PR4.json`` adds the
+incremental-liveness section: cold ``IncrementalLivenessVerifier.verify``
+vs. warm single-router-edit ``reverify`` (owner-index consultation
+counters plus the zero-re-encoding witness for unchanged owners).
 """
 
 from __future__ import annotations
@@ -32,15 +35,18 @@ sys.path.insert(0, str(Path(__file__).parent))
 from conftest import fullmesh_problem
 
 from repro.baselines.minesweeper import MinesweeperVerifier
-from repro.bgp.policy import Disposition, MatchPrefix, RouteMap, RouteMapClause
-from repro.bgp.prefix import PrefixRange
 from repro.core.incremental import IncrementalVerifier
+from repro.core.incremental_liveness import IncrementalLivenessVerifier
 from repro.core.liveness import verify_liveness
 from repro.core.safety import verify_safety
 from repro.lang.predicates import predicate_term_cache_stats
 from repro.lang.transfer import reset_transfer_cache, transfer_cache_stats
 from repro.smt.solver import SessionPool
-from repro.workloads.fullmesh import build_full_mesh, full_mesh_liveness_property
+from repro.workloads.fullmesh import (
+    build_full_mesh,
+    full_mesh_liveness_property,
+    full_mesh_single_router_edit,
+)
 from repro.workloads.wan import build_wan
 from repro.workloads.wan_properties import (
     verify_ip_reuse_liveness_problems,
@@ -210,30 +216,69 @@ def liveness_microbench(n: int = 12, rounds: int = 3) -> dict:
     }
 
 
+def liveness_reverify_microbench(n: int = 12, rounds: int = 3) -> dict:
+    """Cold incremental-liveness verification vs. a single-router reverify.
+
+    The edit touches a router *off* the witness path, so the reverify
+    re-runs only that owner's group inside each no-interference sub-proof
+    — no propagation checks, never the implication.  The session pool's
+    per-owner encoding sizes witness that unchanged owners were not
+    re-encoded at all.
+    """
+    prop = full_mesh_liveness_property(n)
+    best_cold = best_warm = None
+    result = None
+    reencoded = 0
+    total = 0
+    for __ in range(rounds):
+        reset_transfer_cache()
+        config = build_full_mesh(n)
+        verifier = IncrementalLivenessVerifier(config, prop)
+        start = time.perf_counter()
+        initial = verifier.verify()
+        t_cold = time.perf_counter() - start
+        assert initial.report.passed
+        sizes_before = verifier.sessions.encoding_sizes()
+        start = time.perf_counter()
+        result = verifier.reverify(full_mesh_single_router_edit(n))
+        t_warm = time.perf_counter() - start
+        assert result.report.passed
+        sizes_after = verifier.sessions.encoding_sizes()
+        grown = [k for k, v in sizes_after.items() if v != sizes_before.get(k)]
+        assert grown == [f"R{n}"], f"unexpected re-encoding: {grown}"
+        reencoded = len(grown)
+        total = result.rerun_checks + result.cached_checks
+        best_cold = t_cold if best_cold is None else min(best_cold, t_cold)
+        best_warm = t_warm if best_warm is None else min(best_warm, t_warm)
+    return {
+        "workload": (
+            f"fullmesh N={n} short-prefix liveness, one benign edit on R{n} "
+            f"(off the witness path)"
+        ),
+        "routers": n,
+        "edit": "one extra deny clause on one router's external import",
+        "cold_verify_wall_time_s": round(best_cold, 4),
+        "reverify_wall_time_s": round(best_warm, 4),
+        "reverify_fraction_of_cold": round(best_warm / best_cold, 4),
+        "rerun_checks": result.rerun_checks,
+        "cached_checks": result.cached_checks,
+        "checks_consulted": result.checks_consulted,
+        "checks_total": total,
+        "consulted_fraction": round(result.checks_consulted / total, 4),
+        # Zero re-encoding for unchanged owners: only the edited router's
+        # session grew during the reverify.
+        "owners_reencoded": reencoded,
+        "unchanged_owners_reencoded": 0,
+    }
+
+
 def reverify_microbench(n: int = 25, rounds: int = 3) -> dict:
     """Initial verification vs. a single-router reverify on fullmesh N.
 
     The edit is a benign extra deny on one router's external import — the
-    exact workload the §4.2 locality argument promises is cheap.
+    exact workload the §4.2 locality argument promises is cheap
+    (:func:`repro.workloads.fullmesh.full_mesh_single_router_edit`).
     """
-
-    def edited_config():
-        config, __, ___, ____ = fullmesh_problem(n)
-        router = f"R{n}"
-        neighbor = config.routers[router].neighbors[f"E{n}"]
-        neighbor.import_map = RouteMap(
-            "EXT-IN-V2",
-            (
-                RouteMapClause(
-                    1,
-                    Disposition.DENY,
-                    matches=(MatchPrefix((PrefixRange.parse("192.168.0.0/16 le 32"),)),),
-                ),
-            )
-            + neighbor.import_map.clauses,
-        )
-        return config
-
     best_initial = best_reverify = None
     result = None
     for __ in range(rounds):
@@ -244,7 +289,7 @@ def reverify_microbench(n: int = 25, rounds: int = 3) -> dict:
         t_initial = time.perf_counter() - start
         assert initial.report.passed
         start = time.perf_counter()
-        result = verifier.reverify(edited_config())
+        result = verifier.reverify(full_mesh_single_router_edit(n))
         t_reverify = time.perf_counter() - start
         assert result.report.passed
         best_initial = t_initial if best_initial is None else min(best_initial, t_initial)
@@ -354,6 +399,7 @@ def perf_baseline(json_path: str, sizes=(25, 50), rounds: int = 3) -> dict:
         record["sweeps"].append(entry)
     record["reverify"] = reverify_microbench()
     record["liveness"] = liveness_microbench()
+    record["liveness_reverify"] = liveness_reverify_microbench()
     Path(json_path).write_text(json.dumps(record, indent=2) + "\n")
     return record
 

@@ -18,9 +18,19 @@ Subcommands:
   Structurally compare two configurations and report which routers
   changed — the input to incremental re-verification.
 
+* ``lightyear reverify BASE EDITED SPEC``
+  The incremental pipeline end to end: verify every property in the spec
+  against ``BASE``, then re-verify against ``EDITED`` reusing everything
+  the edit did not invalidate — per-owner check groups, solver sessions,
+  the attribute universe, and (with ``--jobs``) worker processes.  Prints
+  the structural diff and, per property, how many checks the re-run
+  consulted versus reused.  Exits non-zero if the edited configuration
+  fails a property.
+
 Example::
 
     lightyear verify network.cfg properties.json --jobs auto --verbose
+    lightyear reverify network.cfg edited.cfg properties.json
 """
 
 from __future__ import annotations
@@ -97,13 +107,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     config = _load_config(args.config)
     spec = spec_from_json(Path(args.spec).read_text())
     ghosts = spec.build_ghosts(config.topology)
-    if args.jobs is not None:
-        # The process backend: real cores, chunked per owner router.
-        parallel, backend = args.jobs, "process"
-    elif args.parallel:
-        parallel, backend = args.parallel, "thread"
-    else:
-        parallel, backend = None, "auto"
+    # With --jobs: the process backend, real cores chunked per owner router.
+    parallel, backend = _resolve_backend(args)
     # The engine keeps one session pool (and, with --jobs, one persistent
     # worker pool) alive across every property in the spec, so encodings
     # built for the first property are reused by all later ones.
@@ -132,6 +137,69 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         f"constraints, {engine.stats.wall_time_s:.2f}s "
         f"({engine.stats.solve_time_s:.2f}s solving)"
     )
+    return 0 if all_passed else 1
+
+
+def _resolve_backend(args: argparse.Namespace) -> tuple[int | str | None, str]:
+    """Map the --jobs/--parallel flags to (parallel, backend), as verify does."""
+    if args.jobs is not None:
+        return args.jobs, "process"
+    if getattr(args, "parallel", None):
+        return args.parallel, "thread"
+    return None, "auto"
+
+
+def _reverify_one(verifier, edited, format_report, verbose: bool) -> bool:
+    """Base verify + incremental reverify for one property; prints both."""
+    initial = verifier.verify()
+    if verbose:
+        print(f"base: {initial.report.summary()}")
+    result = verifier.reverify(edited)
+    print(format_report(result.report, verbose=verbose))
+    print(
+        f"  reverify: consulted {result.checks_consulted} of "
+        f"{result.rerun_checks + result.cached_checks} checks "
+        f"({result.rerun_checks} re-run, {result.cached_checks} reused)"
+    )
+    print()
+    return result.report.passed
+
+
+def _cmd_reverify(args: argparse.Namespace) -> int:
+    from repro.bgp.configdiff import diff_configs
+
+    base = _load_config(args.base)
+    edited = _load_config(args.edited)
+    problems = edited.validate()
+    if problems:
+        print(f"error: edited configuration is invalid: {'; '.join(problems)}",
+              file=sys.stderr)
+        return 2
+    spec = spec_from_json(Path(args.spec).read_text())
+    ghosts = spec.build_ghosts(base.topology)
+    diff = diff_configs(base, edited)
+    print(f"config diff: {diff.summary()}")
+
+    parallel, backend = _resolve_backend(args)
+    all_passed = True
+    # One engine over the base config: every incremental verifier borrows
+    # its session pool (and worker pool, with --jobs), so the base run's
+    # encodings are what each reverify re-solves against.
+    with Lightyear(base, ghosts=ghosts, parallel=parallel, backend=backend) as engine:
+        for sspec in spec.safety:
+            verifier = engine.incremental_safety(
+                sspec.property,
+                sspec.build_invariants(base.topology),
+                conflict_budget=args.budget,
+            )
+            all_passed &= _reverify_one(
+                verifier, edited, format_safety_report, args.verbose
+            )
+        for prop in spec.liveness:
+            verifier = engine.incremental_liveness(prop, conflict_budget=args.budget)
+            all_passed &= _reverify_one(
+                verifier, edited, format_liveness_report, args.verbose
+            )
     return 0 if all_passed else 1
 
 
@@ -189,6 +257,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_diff.add_argument("old")
     p_diff.add_argument("new")
     p_diff.set_defaults(func=_cmd_diff)
+
+    p_rev = sub.add_parser(
+        "reverify",
+        help="verify a base config, then incrementally re-verify an edit",
+    )
+    p_rev.add_argument("base", help="base configuration (.txt dialect or .json)")
+    p_rev.add_argument("edited", help="edited configuration (same topology)")
+    p_rev.add_argument("spec", help="JSON verification spec")
+    p_rev.add_argument(
+        "--jobs",
+        type=_parse_jobs,
+        default=None,
+        metavar="N",
+        help="worker processes kept alive across the base run and the "
+        "reverify: a count or 'auto' (= cpu count); 1 forces the serial path",
+    )
+    p_rev.add_argument(
+        "--budget", type=int, default=None, help="per-check SAT conflict budget"
+    )
+    p_rev.add_argument("--verbose", action="store_true")
+    p_rev.set_defaults(func=_cmd_reverify)
     return parser
 
 

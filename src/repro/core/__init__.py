@@ -24,6 +24,10 @@ from repro.core.safety import SafetyReport, verify_safety
 from repro.core.liveness import LivenessReport, verify_liveness
 from repro.core.engine import Lightyear, EngineStats
 from repro.core.incremental import IncrementalVerifier, IncrementalResult
+from repro.core.incremental_liveness import (
+    IncrementalLivenessVerifier,
+    IncrementalLivenessResult,
+)
 from repro.core.inference import InferenceResult, infer_safety_invariants
 from repro.core.scenario import ImpactAssessment, assess_impact
 from repro.core.templates import (
@@ -51,6 +55,8 @@ __all__ = [
     "EngineStats",
     "IncrementalVerifier",
     "IncrementalResult",
+    "IncrementalLivenessVerifier",
+    "IncrementalLivenessResult",
     "InferenceResult",
     "infer_safety_invariants",
     "ImpactAssessment",

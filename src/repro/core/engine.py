@@ -14,6 +14,12 @@ once, not once per property), and — when ``parallel`` > 1 with a process
 backend — one persistent :class:`repro.core.parallel.WorkerPool` whose
 worker processes keep their own sessions across calls.  ``close()`` (or
 use as a context manager) releases the workers.
+
+``incremental_safety`` / ``incremental_liveness`` hand out incremental
+verifiers that *borrow* the engine's pools instead of building their own,
+so a ``reverify`` after a config edit re-solves against encodings the
+engine's earlier calls already built — the CLI ``reverify`` subcommand is
+a thin wrapper over these factories.
 """
 
 from __future__ import annotations
@@ -21,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.bgp.config import NetworkConfig
+from repro.core.incremental import IncrementalVerifier
+from repro.core.incremental_liveness import IncrementalLivenessVerifier
 from repro.core.liveness import LivenessReport, verify_liveness
 from repro.core.parallel import WorkerPool
 from repro.core.properties import InvariantMap, LivenessProperty, SafetyProperty
@@ -154,3 +162,48 @@ class Lightyear:
         )
         self.stats.absorb(report)
         return report
+
+    def incremental_safety(
+        self,
+        prop: SafetyProperty,
+        invariants: InvariantMap,
+        conflict_budget: int | None = None,
+    ) -> IncrementalVerifier:
+        """An incremental §4 verifier borrowing this engine's pools.
+
+        The verifier shares the engine's ``SessionPool`` (encodings built
+        by earlier ``verify_*`` calls are reused) and draws workers from
+        the engine's persistent pool lazily, so it never spawns or owns
+        processes of its own — the engine's ``close()`` remains the single
+        release point.
+        """
+        return IncrementalVerifier(
+            self.config,
+            prop,
+            invariants,
+            ghosts=self.ghosts,
+            parallel=self.parallel,
+            backend=self.backend,
+            conflict_budget=conflict_budget,
+            sessions=self.sessions,
+            workers=self._workers,
+        )
+
+    def incremental_liveness(
+        self,
+        prop: LivenessProperty,
+        interference_invariants: dict[str, InvariantMap] | None = None,
+        conflict_budget: int | None = None,
+    ) -> IncrementalLivenessVerifier:
+        """An incremental §5 verifier borrowing this engine's pools."""
+        return IncrementalLivenessVerifier(
+            self.config,
+            prop,
+            interference_invariants=interference_invariants,
+            ghosts=self.ghosts,
+            parallel=self.parallel,
+            backend=self.backend,
+            conflict_budget=conflict_budget,
+            sessions=self.sessions,
+            workers=self._workers,
+        )

@@ -18,12 +18,26 @@ only the changed owners' groups — it never walks, hashes, or re-keys the
 unchanged owners' checks.  ``IncrementalResult.checks_consulted`` counts
 the checks a run actually examined; a single-router edit consults exactly
 that router's group.
+
+Change detection covers more than router policies: the digest map carries
+one extra **network-level** entry (:data:`NETWORK_DIGEST_KEY`) derived
+from ``NetworkConfig.external_asns``.  External ASNs never belong to any
+router's policy digest, yet they feed ``AttributeUniverse.from_config``
+and AS-path reasoning, so an ``set_external_asn`` edit on an unchanged
+topology must invalidate every cached outcome — keying exclusively on
+router digests used to reuse a stale universe and stale outcomes.
+
+The §5 liveness pipeline has the same owner-granular incremental wrapper
+in :mod:`repro.core.incremental_liveness`; it shares the digest helpers
+defined here (:func:`config_digests` / :func:`diff_digests`).
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.bgp.config import NetworkConfig
 from repro.core.checks import (
@@ -39,6 +53,119 @@ from repro.core.safety import SafetyReport, build_universe, resolve_jobs, run_ch
 from repro.lang.ghost import GhostAttribute
 from repro.lang.universe import AttributeUniverse
 from repro.smt.solver import SessionPool
+
+
+# The reserved key carrying network-level identity (external ASNs) in a
+# digest map.  A non-string sentinel: router names are strings (JSON
+# configs accept arbitrary ones), so only a different type truly cannot
+# collide — a router literally named "__network__" must not shadow it.
+NETWORK_DIGEST_KEY = ("network",)
+
+
+def network_digest(config: NetworkConfig) -> str:
+    """Digest of network-level verification inputs owned by no router.
+
+    Today that is exactly ``external_asns``: external neighbors' AS numbers
+    enter the attribute universe (``AttributeUniverse.from_config``) and
+    AS-path reasoning, but appear in no :meth:`RouterConfig.digest`.
+    (:meth:`repro.core.parallel.WorkerPool._fingerprint` includes them for
+    the same reason.)
+    """
+    canon = tuple(sorted(config.external_asns.items()))
+    return hashlib.sha256(repr(canon).encode()).hexdigest()
+
+
+def config_digests(config: NetworkConfig) -> dict:
+    """Per-router policy digests plus the :data:`NETWORK_DIGEST_KEY` entry.
+
+    This is the change-detection snapshot both incremental verifiers diff:
+    every input that can alter a cached outcome without altering the
+    topology object graph is covered by some key.
+    """
+    digests: dict = config.policy_digests()
+    digests[NETWORK_DIGEST_KEY] = network_digest(config)
+    return digests
+
+
+def diff_digests(old: dict, new: dict) -> set:
+    """Keys whose digest differs between two snapshots (edits, adds, drops)."""
+    changed = {key for key, digest in new.items() if old.get(key) != digest}
+    changed.update(key for key in old if key not in new)
+    return changed
+
+
+class IncrementalSubstrate:
+    """Shared pool/digest plumbing for the incremental verifiers.
+
+    Owns (or borrows) the persistent reuse substrate: an owner-keyed
+    :class:`SessionPool`, an optional :class:`WorkerPool` (or a lazy
+    supplier of one, like ``Lightyear._workers``), and the digest snapshot
+    the change detector diffs against.  Both the safety and the liveness
+    incremental verifiers inherit this, so pool-lifecycle fixes land in
+    exactly one place.
+    """
+
+    def __init__(
+        self,
+        parallel: int | str | None,
+        backend: str,
+        conflict_budget: int | None,
+        sessions: SessionPool | None,
+        workers: "WorkerPool | Callable[[], WorkerPool | None] | None",
+    ) -> None:
+        self.parallel = parallel
+        self.backend = backend
+        self.conflict_budget = conflict_budget
+        self.sessions = sessions if sessions is not None else SessionPool()
+        self._owns_sessions = sessions is None
+        # ``workers`` lends an externally owned pool; the verifier then
+        # never creates or closes worker processes itself.
+        self._borrowed_workers = workers
+        self._worker_pool: WorkerPool | None = None
+        self._digests: dict = {}
+
+    def _workers(self) -> WorkerPool | None:
+        if self._borrowed_workers is not None:
+            if callable(self._borrowed_workers):
+                return self._borrowed_workers()
+            return self._borrowed_workers
+        if self.backend not in ("auto", "process"):
+            return None
+        if resolve_jobs(self.parallel) < 2:
+            return None
+        if self._worker_pool is None:
+            self._worker_pool = WorkerPool(resolve_jobs(self.parallel))
+        return self._worker_pool
+
+    def close(self) -> None:
+        """Release the owned worker pool (borrowed pools stay untouched)."""
+        if self._worker_pool is not None:
+            self._worker_pool.close()
+            self._worker_pool = None
+
+    def _reset_substrate(self) -> None:
+        """Drop cached encodings after a topology change.
+
+        Session reuse is always *sound* (databases are definitional and
+        checks solve under assumptions), so this is purely a memory
+        measure — and therefore must not touch a **borrowed** pool, whose
+        other users (the engine, sibling verifiers) still want their
+        encodings.  An owned worker pool is released outright; a borrowed
+        one keeps running — its contexts are content-fingerprinted, so the
+        new topology simply ships as a new context.
+        """
+        self._digests = {}
+        if self._owns_sessions:
+            self.sessions.clear()
+        self.close()
+
+    def _diff_config(self, config: NetworkConfig) -> tuple[dict, set, bool]:
+        """Digest snapshot diff: (new digests, changed routers, network?)."""
+        new_digests = config_digests(config)
+        changed = diff_digests(self._digests, new_digests)
+        network_changed = NETWORK_DIGEST_KEY in changed
+        changed.discard(NETWORK_DIGEST_KEY)
+        return new_digests, changed, network_changed
 
 
 @dataclass
@@ -61,7 +188,7 @@ class IncrementalResult:
         return self.cached_checks / total if total else 0.0
 
 
-class IncrementalVerifier:
+class IncrementalVerifier(IncrementalSubstrate):
     """Verify once, then re-verify cheaply after per-router config edits.
 
     The verifier caches each local check's outcome grouped by the owning
@@ -95,19 +222,18 @@ class IncrementalVerifier:
         ghosts: tuple[GhostAttribute, ...] = (),
         parallel: int | str | None = None,
         backend: str = "auto",
+        conflict_budget: int | None = None,
+        sessions: SessionPool | None = None,
+        workers: "WorkerPool | Callable[[], WorkerPool | None] | None" = None,
     ) -> None:
+        super().__init__(parallel, backend, conflict_budget, sessions, workers)
         self.prop = prop
         self.invariants = invariants
         self.ghosts = tuple(ghosts)
-        self.parallel = parallel
-        self.backend = backend
         self._config = config
-        self._digests: dict[str, str] = {}
         self._universe: AttributeUniverse | None = None
         self._checks_by_owner: dict[str | None, list[LocalCheck]] | None = None
         self._outcomes_by_owner: dict[str | None, list[CheckOutcome]] = {}
-        self.sessions = SessionPool()
-        self._worker_pool: WorkerPool | None = None
         self.universe_builds = 0
 
     # Kept for introspection/tests: the flat check list, in group order.
@@ -116,21 +242,6 @@ class IncrementalVerifier:
         if self._checks_by_owner is None:
             return None
         return [c for group in self._checks_by_owner.values() for c in group]
-
-    def _workers(self) -> WorkerPool | None:
-        if self.backend not in ("auto", "process"):
-            return None
-        if resolve_jobs(self.parallel) < 2:
-            return None
-        if self._worker_pool is None:
-            self._worker_pool = WorkerPool(resolve_jobs(self.parallel))
-        return self._worker_pool
-
-    def close(self) -> None:
-        """Release the persistent worker pool (sessions die with it)."""
-        if self._worker_pool is not None:
-            self._worker_pool.close()
-            self._worker_pool = None
 
     def verify(self) -> IncrementalResult:
         """Initial full verification (populates the cache)."""
@@ -144,23 +255,25 @@ class IncrementalVerifier:
         ):
             # Topology changes regenerate the check set; start over.
             self._outcomes_by_owner.clear()
-            self._digests.clear()
             self._universe = None
             self._checks_by_owner = None
-            self.sessions.clear()
-            # Worker-side sessions and contexts describe the old topology;
-            # release them too (a fresh pool is created lazily on demand).
-            self.close()
+            self._reset_substrate()
         self._config = new_config
         return self._run(new_config, full=False)
 
     # ------------------------------------------------------------------
 
     def _refresh_problem(
-        self, config: NetworkConfig, changed: set[str]
+        self, config: NetworkConfig, changed: set[str], network_changed: bool
     ) -> None:
-        """Rebuild universe/checks only when some router's policy changed."""
-        if self._universe is not None and not changed:
+        """Rebuild universe/checks only when some verification input changed.
+
+        ``changed`` holds edited router names; ``network_changed`` flags a
+        network-level edit (external ASNs), which rescans the universe but
+        leaves the check list alone — checks carry predicates and route-map
+        names, never ASNs.
+        """
+        if self._universe is not None and not changed and not network_changed:
             return
         universe = build_universe(
             config, self.invariants, [self.prop.predicate], self.ghosts
@@ -194,18 +307,15 @@ class IncrementalVerifier:
 
     def _run(self, config: NetworkConfig, full: bool) -> IncrementalResult:
         start = time.perf_counter()
-        new_digests = config.policy_digests()
-        changed = {
-            name
-            for name, digest in new_digests.items()
-            if self._digests.get(name) != digest
-        }
-        self._refresh_problem(config, changed)
+        new_digests, changed, network_changed = self._diff_config(config)
+        self._refresh_problem(config, changed, network_changed)
         universe = self._universe
         groups = self._checks_by_owner
         assert universe is not None and groups is not None
 
-        if full:
+        if full or network_changed:
+            # A network-level edit (external ASNs) changes the universe and
+            # AS-path semantics under every cached outcome: rerun everything.
             rerun_owners = set(groups)
         else:
             # O(changed owner): only edited routers' groups, plus any group
@@ -230,6 +340,7 @@ class IncrementalVerifier:
             universe,
             self.ghosts,
             parallel=self.parallel,
+            conflict_budget=self.conflict_budget,
             backend=self.backend,
             sessions=self.sessions,
             workers=self._workers(),

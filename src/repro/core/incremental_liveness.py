@@ -1,0 +1,329 @@
+"""Incremental liveness re-verification: the §5 analogue of §4's reuse.
+
+The §5 pipeline is the most expensive per-property path — each
+no-interference sub-proof is a full-network §4 problem — yet a config edit
+to one router invalidates only a sliver of it.  What each check reads
+determines the invalidation contract:
+
+* **propagation checks** read one filter on the witness path: an edit to
+  router ``R`` invalidates only ``R``'s propagation group;
+* each **no-interference sub-proof** is a full-network check set, so an
+  edit to ``R`` invalidates ``R``'s owner group inside *every* sub-proof
+  — and nothing else of them (including each sub-proof's owner-less
+  implication check, which reads only the invariants);
+* the final **implication** ``C_n ⊆ P`` reads only the property and
+  constraints, which are fixed for a verifier's lifetime: it is *never*
+  re-run for a config edit;
+* a **network-level** edit (external ASNs, :data:`repro.core.incremental.
+  NETWORK_DIGEST_KEY`) changes the attribute universe under every
+  encoding and invalidates everything.
+
+Like :class:`repro.core.incremental.IncrementalVerifier`, the cache is an
+owner index per pipeline stage: ``reverify`` diffs per-router digests plus
+the network digest (O(routers)), then touches only the changed owners'
+groups — ``IncrementalLivenessResult.checks_consulted`` counts what a run
+actually examined.  Between runs the verifier keeps the whole reuse
+substrate alive: one covering universe (swapped only on content change),
+one owner-keyed :class:`SessionPool`, and optionally one persistent
+:class:`WorkerPool` — so a reverify re-encodes only the edited owner's
+terms and re-solves nothing else.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.bgp.config import NetworkConfig
+from repro.core.checks import (
+    CheckOutcome,
+    LocalCheck,
+    generate_safety_checks,
+    group_checks_by_owner,
+)
+from repro.core.incremental import IncrementalSubstrate
+from repro.core.liveness import (
+    LivenessReport,
+    generate_liveness_checks,
+    generate_propagation_checks,
+    liveness_universe,
+)
+from repro.core.parallel import WorkerPool
+from repro.core.properties import InvariantMap, LivenessProperty, SafetyProperty
+from repro.core.safety import SafetyReport, run_checks
+from repro.lang.ghost import GhostAttribute
+from repro.lang.universe import AttributeUniverse
+from repro.smt.solver import SessionPool
+
+
+@dataclass
+class IncrementalLivenessResult:
+    """A liveness re-verification outcome plus cache accounting."""
+
+    report: LivenessReport
+    rerun_checks: int
+    cached_checks: int
+    # Checks this run individually examined or wrote; cached groups are
+    # reused wholesale, so this equals ``rerun_checks`` by design — the
+    # O(changed-owner) witness, exactly like the safety-side counter.
+    checks_consulted: int = 0
+
+    @property
+    def reuse_fraction(self) -> float:
+        total = self.rerun_checks + self.cached_checks
+        return self.cached_checks / total if total else 0.0
+
+
+# Slot tags mapping a fresh outcome back to its cache cell.
+_PROP = "prop"
+_IMPL = "impl"
+_SUB = "sub"
+
+
+class IncrementalLivenessVerifier(IncrementalSubstrate):
+    """Verify a liveness property once, then re-verify cheaply after edits.
+
+    The verifier caches the generated §5 check set and every outcome in an
+    owner index per stage (propagation groups, the implication, each
+    sub-proof's owner groups), keyed by per-router policy digests plus the
+    network-level digest.  ``reverify`` with an updated
+    :class:`NetworkConfig` (same topology) re-runs only what the edit
+    invalidated; cost is O(changed owner), not a walk over the cache.
+    Changing the property or the caller-supplied interference invariants
+    requires a new verifier — those inputs touch every check.
+
+    Between runs the verifier keeps the expensive substrate alive:
+
+    * ``sessions`` — one persistent owner-keyed :class:`SessionPool`
+      shared by propagation, implication, and all sub-proof checks; a
+      rerun discharges against the owner's existing clause database, so
+      unchanged owners see no solver activity at all.  Pass the engine's
+      pool (``Lightyear.incremental_liveness``) to share it wider.
+    * ``workers`` — a :class:`WorkerPool` (or a lazy supplier like
+      ``Lightyear._workers``) lends persistent worker processes; without
+      one, the verifier creates its own when ``parallel`` > 1 with a
+      process backend (``close()`` releases only an owned pool).
+    * the covering universe and the generated check groups, rebuilt only
+      when a digest actually changed — and the universe object is swapped
+      only when its *content* changed, keeping the symbolic-route and
+      transfer caches hot (``universe_builds`` counts adoptions).
+    """
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        prop: LivenessProperty,
+        interference_invariants: dict[str, InvariantMap] | None = None,
+        ghosts: tuple[GhostAttribute, ...] = (),
+        parallel: int | str | None = None,
+        backend: str = "auto",
+        conflict_budget: int | None = None,
+        sessions: SessionPool | None = None,
+        workers: "WorkerPool | Callable[[], WorkerPool | None] | None" = None,
+    ) -> None:
+        super().__init__(parallel, backend, conflict_budget, sessions, workers)
+        self.prop = prop
+        self.interference_invariants = interference_invariants
+        self.ghosts = tuple(ghosts)
+        self._config = config
+        self._universe: AttributeUniverse | None = None
+        # The owner indexes, one per pipeline stage.
+        self._prop_groups: dict[str | None, list[LocalCheck]] | None = None
+        self._implication: LocalCheck | None = None
+        self._sub_properties: dict[str, SafetyProperty] = {}
+        self._sub_invariants: dict[str, InvariantMap] = {}
+        self._sub_groups: dict[str, dict[str | None, list[LocalCheck]]] = {}
+        # Outcome caches, mirroring the index shapes above.
+        self._prop_outcomes: dict[str | None, list[CheckOutcome]] = {}
+        self._impl_outcome: CheckOutcome | None = None
+        self._sub_outcomes: dict[str, dict[str | None, list[CheckOutcome]]] = {}
+        self.universe_builds = 0
+
+    # -- entry points --------------------------------------------------
+
+    def verify(self) -> IncrementalLivenessResult:
+        """Initial full verification (populates every cache)."""
+        return self._run(self._config, full=True)
+
+    def reverify(self, new_config: NetworkConfig) -> IncrementalLivenessResult:
+        """Re-verify after a configuration change."""
+        if (
+            new_config.topology.routers != self._config.topology.routers
+            or new_config.topology.edges != self._config.topology.edges
+        ):
+            # Topology changes regenerate the check set; start over.
+            self._universe = None
+            self._prop_groups = None
+            self._implication = None
+            self._sub_groups = {}
+            self._prop_outcomes = {}
+            self._impl_outcome = None
+            self._sub_outcomes = {}
+            self._reset_substrate()
+        self._config = new_config
+        return self._run(new_config, full=False)
+
+    # -- internals -----------------------------------------------------
+
+    def _refresh_problem(
+        self, config: NetworkConfig, changed: set[str], network_changed: bool
+    ) -> None:
+        """Rebuild universe/check groups only where a digest changed."""
+        if self._universe is None or changed or network_changed:
+            universe = liveness_universe(
+                config, self.prop, self.interference_invariants, self.ghosts
+            )
+            if universe != self._universe:
+                # Adopt only on content change; an equal universe keeps the
+                # object so downstream value-keyed caches stay warm.
+                self._universe = universe
+                self.universe_builds += 1
+        if self._prop_groups is None:
+            checks = generate_liveness_checks(
+                config, self.prop, self.interference_invariants
+            )
+            self._prop_groups = group_checks_by_owner(checks.propagation)
+            self._implication = checks.implication
+            self._sub_properties = checks.subproof_properties
+            self._sub_invariants = checks.subproof_invariants
+            self._sub_groups = {
+                router: group_checks_by_owner(sub_checks)
+                for router, sub_checks in checks.subproof_checks.items()
+            }
+        elif changed:
+            # Refresh only the edited owners' groups (their route-map
+            # metadata may have changed): the edited owners' propagation
+            # checks, and their group inside every sub-proof.  The
+            # implication and every other group carry over untouched.
+            fresh_prop = group_checks_by_owner(
+                generate_propagation_checks(config, self.prop)
+            )
+            for owner in changed:
+                if owner in self._prop_groups:
+                    self._prop_groups[owner] = fresh_prop.get(owner, [])
+            for router, groups in self._sub_groups.items():
+                safety_prop = self._sub_properties[router]
+                fresh_sub = group_checks_by_owner(
+                    generate_safety_checks(
+                        config,
+                        self._sub_invariants[router],
+                        safety_prop.location,
+                        safety_prop.predicate,
+                        owners=changed,
+                    )
+                )
+                for owner in changed:
+                    if owner in groups:
+                        groups[owner] = fresh_sub.get(owner, [])
+
+    def _run(self, config: NetworkConfig, full: bool) -> IncrementalLivenessResult:
+        start = time.perf_counter()
+        self.prop.validate_against(config.topology)
+        new_digests, changed, network_changed = self._diff_config(config)
+        self._refresh_problem(config, changed, network_changed)
+        universe = self._universe
+        prop_groups = self._prop_groups
+        implication = self._implication
+        assert universe is not None and prop_groups is not None
+        assert implication is not None
+
+        if full or network_changed:
+            rerun_prop = set(prop_groups)
+            rerun_impl = True
+            rerun_sub = {
+                router: set(groups) for router, groups in self._sub_groups.items()
+            }
+        else:
+            # O(changed owner): edited routers' groups in every stage, plus
+            # any group with no cached outcome yet (post-topology-reset);
+            # the implication is never invalidated by a config edit.
+            rerun_prop = {o for o in changed if o in prop_groups}
+            rerun_prop |= {o for o in prop_groups if o not in self._prop_outcomes}
+            rerun_impl = self._impl_outcome is None
+            rerun_sub = {}
+            for router, groups in self._sub_groups.items():
+                cached = self._sub_outcomes.get(router, {})
+                rerun_sub[router] = {o for o in changed if o in groups}
+                rerun_sub[router] |= {o for o in groups if o not in cached}
+
+        # One batched run_checks call for everything invalidated: the slots
+        # map each outcome back to its cache cell, and a single call lets
+        # the worker pool overlap chunks across pipeline stages.
+        to_run: list[LocalCheck] = []
+        slots: list[tuple] = []
+        for owner, group in prop_groups.items():
+            if owner in rerun_prop:
+                to_run.extend(group)
+                slots.extend((_PROP, owner) for __ in group)
+        if rerun_impl:
+            to_run.append(implication)
+            slots.append((_IMPL, None))
+        for router, groups in self._sub_groups.items():
+            for owner, group in groups.items():
+                if owner in rerun_sub[router]:
+                    to_run.extend(group)
+                    slots.extend((_SUB, router, owner) for __ in group)
+
+        fresh = run_checks(
+            to_run,
+            config,
+            universe,
+            self.ghosts,
+            parallel=self.parallel,
+            conflict_budget=self.conflict_budget,
+            backend=self.backend,
+            sessions=self.sessions,
+            workers=self._workers(),
+        )
+
+        # Scatter fresh outcomes back into the owner indexes.
+        fresh_prop: dict[str | None, list[CheckOutcome]] = {}
+        fresh_sub: dict[str, dict[str | None, list[CheckOutcome]]] = {}
+        for slot, outcome in zip(slots, fresh):
+            if slot[0] == _PROP:
+                fresh_prop.setdefault(slot[1], []).append(outcome)
+            elif slot[0] == _IMPL:
+                self._impl_outcome = outcome
+            else:
+                fresh_sub.setdefault(slot[1], {}).setdefault(slot[2], []).append(
+                    outcome
+                )
+        for owner in rerun_prop:
+            self._prop_outcomes[owner] = fresh_prop.get(owner, [])
+        for router, owners in rerun_sub.items():
+            cache = self._sub_outcomes.setdefault(router, {})
+            for owner in owners:
+                cache[owner] = fresh_sub.get(router, {}).get(owner, [])
+        self._digests = new_digests
+
+        assert self._impl_outcome is not None
+        report = LivenessReport(
+            property=self.prop,
+            propagation_outcomes=[
+                o for owner in prop_groups for o in self._prop_outcomes[owner]
+            ],
+            implication_outcome=self._impl_outcome,
+            interference_reports={
+                router: SafetyReport(
+                    property=self._sub_properties[router],
+                    outcomes=[
+                        o
+                        for owner in groups
+                        for o in self._sub_outcomes[router][owner]
+                    ],
+                    wall_time_s=0.0,
+                )
+                for router, groups in self._sub_groups.items()
+            },
+            wall_time_s=time.perf_counter() - start,
+        )
+        total = len(report.propagation_outcomes) + 1 + sum(
+            r.num_checks for r in report.interference_reports.values()
+        )
+        return IncrementalLivenessResult(
+            report=report,
+            rerun_checks=len(fresh),
+            cached_checks=total - len(fresh),
+            checks_consulted=len(to_run),
+        )

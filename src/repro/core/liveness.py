@@ -19,11 +19,26 @@ every no-interference sub-proof's invariants — including caller-supplied
 ``interference_invariants`` — and one owner-keyed
 :class:`repro.smt.SessionPool` is threaded through the propagation checks,
 the final implication (discharged via ``run_checks`` like everything else,
-so it honours the selected backend), and each sub-proof's
-``verify_safety`` call.  A caller can pass its own ``universe``/
-``sessions``/``workers`` to extend the sharing across many liveness
-properties, the way the Table-4c sweep does
+so it honours the selected backend), and each sub-proof.  A caller can
+pass its own ``universe``/``sessions``/``workers`` to extend the sharing
+across many liveness properties, the way the Table-4c sweep does
 (:func:`repro.workloads.wan_properties.verify_ip_reuse_liveness_problems`).
+
+Check **generation** is separable from execution:
+:func:`generate_liveness_checks` returns the complete §5 check set — the
+propagation checks, the final implication, and each no-interference
+sub-proof's §4 check list — without running anything.
+:func:`verify_liveness` is a thin driver over that set, and
+:class:`repro.core.incremental_liveness.IncrementalLivenessVerifier`
+caches it in an owner index for O(changed-owner) re-verification.  The
+incremental invalidation contract follows from what each check reads: a
+single-router edit to ``R`` invalidates ``R``'s propagation checks (its
+filters on the witness path) and ``R``'s owner group inside *every*
+sub-proof (its filters appear in each sub-proof's full-network check set)
+— but never the final implication, which depends only on the property and
+constraints, and never another owner's groups.  A network-level edit
+(external ASNs) invalidates everything: it changes the attribute universe
+under every encoding.
 """
 
 from __future__ import annotations
@@ -33,11 +48,21 @@ from dataclasses import dataclass
 
 from repro.bgp.config import NetworkConfig
 from repro.bgp.topology import Edge
-from repro.core.checks import CheckKind, CheckOutcome, LocalCheck
+from repro.core.checks import (
+    CheckKind,
+    CheckOutcome,
+    LocalCheck,
+    generate_safety_checks,
+)
 from repro.core.counterexample import CheckFailure
 from repro.core.parallel import WorkerPool
 from repro.core.properties import InvariantMap, LivenessProperty, SafetyProperty
-from repro.core.safety import SafetyReport, build_universe, run_checks, verify_safety
+from repro.core.safety import (
+    SafetyReport,
+    build_universe,
+    failure_status,
+    run_checks,
+)
 from repro.lang.ghost import GhostAttribute
 from repro.lang.predicates import Implies, Predicate, PrefixIn, TruePred, prefix_projection
 from repro.lang.universe import AttributeUniverse
@@ -72,6 +97,22 @@ class LivenessReport:
         return found
 
     @property
+    def unknowns(self) -> list[CheckOutcome]:
+        """Outcomes the solver could not decide (budget exhausted).
+
+        Unknowns fail the property (``passed`` is False) but carry no
+        counterexample, so they are invisible to ``failures`` — summaries
+        must count them separately or an unknown-only failure reads as
+        ``FAILED (0 checks)``.
+        """
+        found = [o for o in self.propagation_outcomes if o.unknown]
+        if self.implication_outcome.unknown:
+            found.append(self.implication_outcome)
+        for report in self.interference_reports.values():
+            found.extend(report.unknowns)
+        return found
+
+    @property
     def num_checks(self) -> int:
         return (
             len(self.propagation_outcomes)
@@ -101,7 +142,9 @@ class LivenessReport:
         return total
 
     def summary(self) -> str:
-        status = "PASSED" if self.passed else f"FAILED ({len(self.failures)} checks)"
+        status = "PASSED" if self.passed else failure_status(
+            self.failures, self.unknowns
+        )
         return (
             f"{self.property}: {status} — {self.num_checks} local checks "
             f"({len(self.propagation_outcomes)} propagation, "
@@ -177,6 +220,101 @@ def interference_properties(prop: LivenessProperty) -> dict[str, SafetyProperty]
             name=f"no-interference at {location}",
         )
     return properties
+
+
+def resolve_interference_invariants(
+    config: NetworkConfig,
+    prop: LivenessProperty,
+    interference_invariants: dict[str, InvariantMap] | None = None,
+) -> tuple[dict[str, SafetyProperty], dict[str, InvariantMap]]:
+    """Each path router's no-interference property and its invariant map.
+
+    Caller-supplied ``interference_invariants`` win; any router without one
+    gets the default inductive shape — the no-interference predicate itself
+    at every internal location (external edges pinned to True), the
+    three-part structure §2.1 describes.
+    """
+    properties = interference_properties(prop)
+    invariants: dict[str, InvariantMap] = {}
+    for router, safety_prop in properties.items():
+        if interference_invariants and router in interference_invariants:
+            invariants[router] = interference_invariants[router]
+        else:
+            invariants[router] = InvariantMap(
+                config.topology, default=safety_prop.predicate
+            )
+    return properties, invariants
+
+
+@dataclass
+class LivenessChecks:
+    """The complete §5 check set for one property, generated but not run.
+
+    Separating generation from execution is what makes the pipeline
+    cacheable: :func:`verify_liveness` runs this set once, while the
+    incremental verifier stores each piece in an owner index
+    (:func:`repro.core.checks.group_checks_by_owner`) and re-runs only the
+    groups a config edit invalidated.
+    """
+
+    # The §5.2 filter checks along the witness path, in path order.
+    propagation: list[LocalCheck]
+    # The final ``C_n ⊆ P`` implication (owner-less: reads no router config).
+    implication: LocalCheck
+    # Per path router: its no-interference safety property, the invariant
+    # map proving it, and the resulting full-network §4 check list.
+    subproof_properties: dict[str, SafetyProperty]
+    subproof_invariants: dict[str, InvariantMap]
+    subproof_checks: dict[str, list[LocalCheck]]
+
+    @property
+    def num_checks(self) -> int:
+        return (
+            len(self.propagation)
+            + 1
+            + sum(len(checks) for checks in self.subproof_checks.values())
+        )
+
+
+def implication_check(prop: LivenessProperty) -> LocalCheck:
+    """The final §5 check: the last path constraint implies the property."""
+    return LocalCheck(
+        kind=CheckKind.IMPLICATION,
+        edge=None,
+        location=prop.location,
+        assumption=prop.constraints[-1],
+        goal=prop.predicate,
+        description=(
+            f"implication check at {prop.location}: C_n implies the property"
+        ),
+    )
+
+
+def generate_liveness_checks(
+    config: NetworkConfig,
+    prop: LivenessProperty,
+    interference_invariants: dict[str, InvariantMap] | None = None,
+) -> LivenessChecks:
+    """Generate the full §5 check set without executing anything."""
+    subproof_properties, subproof_invariants = resolve_interference_invariants(
+        config, prop, interference_invariants
+    )
+    subproof_checks = {
+        router: generate_safety_checks(
+            config,
+            subproof_invariants[router],
+            safety_prop.location,
+            safety_prop.predicate,
+        )
+        for router, safety_prop in subproof_properties.items()
+    }
+    return LivenessChecks(
+        propagation=generate_propagation_checks(config, prop),
+        implication=implication_check(prop),
+        subproof_properties=subproof_properties,
+        subproof_invariants=subproof_invariants,
+        subproof_checks=subproof_checks,
+    )
 
 
 def liveness_predicates(
@@ -255,47 +393,38 @@ def verify_liveness(
     if universe is None:
         universe = liveness_universe(config, prop, interference_invariants, ghosts)
     pool = sessions if sessions is not None else SessionPool()
+    checks = generate_liveness_checks(config, prop, interference_invariants)
 
-    propagation = generate_propagation_checks(config, prop)
     propagation_outcomes = run_checks(
-        propagation, config, universe, ghosts, parallel=parallel,
+        checks.propagation, config, universe, ghosts, parallel=parallel,
         conflict_budget=conflict_budget, backend=backend,
         sessions=pool, workers=workers,
     )
 
-    implication = LocalCheck(
-        kind=CheckKind.IMPLICATION,
-        edge=None,
-        location=prop.location,
-        assumption=prop.constraints[-1],
-        goal=prop.predicate,
-        description=(
-            f"implication check at {prop.location}: C_n implies the property"
-        ),
-    )
     implication_outcome = run_checks(
-        [implication], config, universe, ghosts, parallel=parallel,
+        [checks.implication], config, universe, ghosts, parallel=parallel,
         conflict_budget=conflict_budget, backend=backend,
         sessions=pool, workers=workers,
     )[0]
 
     interference_reports: dict[str, SafetyReport] = {}
-    for router, safety_prop in interference_properties(prop).items():
-        if interference_invariants and router in interference_invariants:
-            inv = interference_invariants[router]
-        else:
-            inv = InvariantMap(config.topology, default=safety_prop.predicate)
-        interference_reports[router] = verify_safety(
+    for router, safety_prop in checks.subproof_properties.items():
+        sub_start = time.perf_counter()
+        outcomes = run_checks(
+            checks.subproof_checks[router],
             config,
-            safety_prop,
-            inv,
-            ghosts=ghosts,
-            universe=universe,
+            universe,
+            ghosts,
             parallel=parallel,
             conflict_budget=conflict_budget,
             backend=backend,
             sessions=pool,
             workers=workers,
+        )
+        interference_reports[router] = SafetyReport(
+            property=safety_prop,
+            outcomes=outcomes,
+            wall_time_s=time.perf_counter() - sub_start,
         )
 
     return LivenessReport(

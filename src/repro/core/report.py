@@ -42,6 +42,20 @@ def format_liveness_report(report: LivenessReport, verbose: bool = False) -> str
             lines.append(f"no-interference sub-proof at {router} FAILED:")
             for failure in sub.failures:
                 lines.append("  " + failure.explain().replace("\n", "\n  "))
+            for outcome in sub.unknowns:
+                lines.append(
+                    f"  UNKNOWN (budget exhausted): {outcome.check.description}"
+                )
         elif verbose:
             lines.append(f"no-interference at {router}: ok ({sub.num_checks} checks)")
+    # Undecided propagation/implication checks have no counterexample to
+    # explain; list them so an unknown-only failure is never silent.
+    for outcome in report.propagation_outcomes:
+        if outcome.unknown:
+            lines.append(f"UNKNOWN (budget exhausted): {outcome.check.description}")
+    if report.implication_outcome.unknown:
+        lines.append(
+            f"UNKNOWN (budget exhausted): "
+            f"{report.implication_outcome.check.description}"
+        )
     return "\n".join(lines)

@@ -44,6 +44,21 @@ from repro.smt.solver import SessionPool
 BACKENDS = ("auto", "serial", "process", "thread")
 
 
+def failure_status(failures: list, unknowns: list) -> str:
+    """The failing half of a report summary, counting unknowns distinctly.
+
+    UNKNOWN outcomes (conflict budget exhausted) fail a property but carry
+    no counterexample, so a count of ``failures`` alone renders an
+    unknown-only report as the nonsensical ``FAILED (0 checks)``.
+    """
+    parts = []
+    if failures:
+        parts.append(f"{len(failures)} failed")
+    if unknowns:
+        parts.append(f"{len(unknowns)} unknown")
+    return f"FAILED ({', '.join(parts)})" if parts else "FAILED"
+
+
 @dataclass
 class SafetyReport:
     """Everything ``verify_safety`` learned."""
@@ -88,7 +103,9 @@ class SafetyReport:
         return sum(o.stats.build_time_s for o in self.outcomes)
 
     def summary(self) -> str:
-        status = "PASSED" if self.passed else f"FAILED ({len(self.failures)} checks)"
+        status = "PASSED" if self.passed else failure_status(
+            self.failures, self.unknowns
+        )
         return (
             f"{self.property}: {status} — {self.num_checks} local checks, "
             f"max {self.max_vars} vars / {self.max_clauses} constraints per check, "

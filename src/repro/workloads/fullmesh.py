@@ -114,6 +114,49 @@ def build_full_mesh(n: int) -> NetworkConfig:
     return config
 
 
+def full_mesh_single_router_edit(n: int, router: str | None = None) -> NetworkConfig:
+    """The N-router mesh with one benign edit applied to one router.
+
+    The edit — an extra bogon deny prepended to ``router``'s external
+    import filter — is the §2/§7 single-router change scenario: it alters
+    exactly one policy digest, so an incremental reverify (safety or
+    liveness) must consult only that owner's check groups.  ``router``
+    defaults to ``Rn``, which is *off* the liveness witness path
+    (E2 → R2 → R3 for ``n`` >= 4), making the liveness invalidation the
+    minimal case: no propagation checks, never the implication, just the
+    owner's group inside each no-interference sub-proof.
+    """
+    config = build_full_mesh(n)
+    router = router if router is not None else f"R{n}"
+    external = "E" + router[1:]
+    neighbor = config.routers[router].neighbors[external]
+    bogon = RouteMapClause(
+        1,
+        Disposition.DENY,
+        matches=(MatchPrefix((PrefixRange.parse("192.168.0.0/16 le 32"),)),),
+    )
+    neighbor.import_map = RouteMap(
+        f"{neighbor.import_map.name}-EDIT", (bogon,) + neighbor.import_map.clauses
+    )
+    return config
+
+
+def full_mesh_external_asn_edit(n: int, asn: int = 64999) -> NetworkConfig:
+    """The N-router mesh with one *network-level* edit: ``En``'s ASN changed.
+
+    ``set_external_asn`` alone touches no router's configuration, so every
+    per-router policy digest is unchanged — this is exactly the edit that a
+    change detector keyed only on ``policy_digests()`` cannot see, even
+    though external ASNs feed the attribute universe and AS-path
+    reasoning.  (The adjacent session keeps its configured ``remote-as``,
+    as a stale real-world config would; ``validate()`` flags the mismatch
+    but the symbolic pipeline reads only ``external_asns``.)
+    """
+    config = build_full_mesh(n)
+    config.set_external_asn(f"E{n}", asn)
+    return config
+
+
 def full_mesh_liveness_property(n: int) -> LivenessProperty:
     """A passing §5 liveness property on the full mesh (needs ``n`` >= 3).
 

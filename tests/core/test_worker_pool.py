@@ -163,6 +163,82 @@ def test_verify_safety_with_persistent_workers():
         assert all(g == (0, 0) for g in pool.last_encoding_growth.values())
 
 
+def _distinct_problem(i: int):
+    """A fullmesh problem whose policy digests differ per ``i``."""
+    from repro.bgp.policy import Disposition, MatchPrefix
+    from repro.bgp.prefix import PrefixRange
+
+    config, ghost, prop, invariants = _fullmesh_problem(4)
+    if i:
+        neighbor = config.routers["R3"].neighbors["E3"]
+        deny = RouteMapClause(
+            1,
+            Disposition.DENY,
+            matches=(MatchPrefix((PrefixRange.parse(f"10.{i}.0.0/16 le 32"),)),),
+        )
+        neighbor.import_map = RouteMap(
+            f"EXT-IN-{i}", (deny,) + neighbor.import_map.clauses
+        )
+    return config, ghost, prop, invariants
+
+
+def test_worker_pool_evicts_oldest_context_and_stays_correct():
+    """Driving a small ``max_contexts`` pool through more distinct configs
+    than it retains must bound the parent-side payloads (workers are told
+    to drop theirs too) while every run still matches the serial path."""
+    with WorkerPool(2, max_contexts=2) as pool:
+        for i in range(4):
+            config, ghost, prop, invariants = _distinct_problem(i)
+            universe, checks = _pieces(config, ghost, prop, invariants)
+            serial = run_checks(checks, config, universe, (ghost,))
+            pooled = _pool_or_skip(pool, pool.run(checks, config, universe, (ghost,)))
+            assert [_fingerprint(o) for o in pooled] == [
+                _fingerprint(o) for o in serial
+            ]
+            # Bounded retention, parent-side: payloads, fingerprints, and
+            # the FIFO order never exceed the configured maximum.
+            assert len(pool._payloads) <= pool.max_contexts
+            assert len(pool._tokens) <= pool.max_contexts
+            assert len(pool._token_order) <= pool.max_contexts
+            # Workers may only hold tokens the parent still knows about.
+            live = set(pool._token_order)
+            for shipped in pool._shipped:
+                assert shipped <= live
+        # Four distinct problems crossed a 2-context pool: evictions
+        # happened (tokens 0 and 1 are gone) and each context was shipped
+        # to at least one worker.
+        assert pool._next_token == 4
+        assert min(pool._token_order) >= 2
+        assert pool.contexts_shipped >= 4
+
+
+def test_worker_pool_reships_evicted_context_on_reuse():
+    """Re-running an evicted problem is correct (the worker re-receives the
+    context) and costs exactly one fresh shipment per worker touched."""
+    with WorkerPool(1, max_contexts=1) as pool:
+        config0, ghost0, prop0, invariants0 = _distinct_problem(0)
+        universe0, checks0 = _pieces(config0, ghost0, prop0, invariants0)
+        serial0 = run_checks(checks0, config0, universe0, (ghost0,))
+        _pool_or_skip(pool, pool.run(checks0, config0, universe0, (ghost0,)))
+        shipped_first = pool.contexts_shipped
+
+        config1, ghost1, prop1, invariants1 = _distinct_problem(1)
+        universe1, checks1 = _pieces(config1, ghost1, prop1, invariants1)
+        pool.run(checks1, config1, universe1, (ghost1,))  # evicts problem 0
+        assert pool.contexts_shipped > shipped_first
+
+        shipped_before_rerun = pool.contexts_shipped
+        again = pool.run(checks0, config0, universe0, (ghost0,))
+        assert again is not None
+        assert [_fingerprint(o) for o in again] == [
+            _fingerprint(o) for o in serial0
+        ]
+        # The context had been dropped worker-side as well, so it was
+        # shipped again — a new token, not a stale-reply hazard.
+        assert pool.contexts_shipped == shipped_before_rerun + 1
+        assert len(pool._payloads) == 1
+
+
 def test_incremental_verifier_keeps_workers_across_reverify():
     config, ghost, prop, invariants = _fullmesh_problem(4)
     v = IncrementalVerifier(

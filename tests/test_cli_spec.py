@@ -311,6 +311,80 @@ def test_cli_empty_directory_errors(tmp_path):
     assert main(["parse", str(empty)]) == 2
 
 
+def _write_fig1_edit(tmp_path, name, edit=None):
+    """Serialise a (possibly edited) Figure 1 config to JSON."""
+    config = build_figure1()
+    if edit is not None:
+        edit(config)
+    path = tmp_path / name
+    path.write_text(config_to_json(config))
+    return str(path)
+
+
+def _benign_r3_edit(config):
+    from repro.bgp.policy import Disposition, MatchPrefix, RouteMap, RouteMapClause
+    from repro.bgp.prefix import PrefixRange
+
+    neighbor = config.routers["R3"].neighbors["Customer"]
+    deny = RouteMapClause(
+        1,
+        Disposition.DENY,
+        matches=(MatchPrefix((PrefixRange.parse("192.168.0.0/16 le 32"),)),),
+    )
+    neighbor.import_map = RouteMap("CUST-IN", (deny,) + neighbor.import_map.clauses)
+
+
+def _breaking_r2_edit(config):
+    from repro.bgp.policy import DeleteCommunity, RouteMap, RouteMapClause
+    from repro.workloads.figure1 import TRANSIT_COMMUNITY
+
+    config.routers["R2"].neighbors["R1"].import_map = RouteMap(
+        "STRIP", (RouteMapClause(10, actions=(DeleteCommunity(TRANSIT_COMMUNITY),)),)
+    )
+
+
+def test_cli_reverify_passes_and_reports_reuse(tmp_path, spec_file, capsys):
+    base = _write_fig1_edit(tmp_path, "base.json")
+    edited = _write_fig1_edit(tmp_path, "edited.json", _benign_r3_edit)
+    assert main(["reverify", base, edited, spec_file]) == 0
+    out = capsys.readouterr().out
+    assert "config diff: changed: R3" in out
+    assert "PASSED" in out
+    # The single-router edit consulted only R3's owner group.
+    assert "reverify: consulted 6 of 19 checks (6 re-run, 13 reused)" in out
+
+
+def test_cli_reverify_detects_breaking_edit(tmp_path, spec_file, capsys):
+    base = _write_fig1_edit(tmp_path, "base.json")
+    edited = _write_fig1_edit(tmp_path, "edited.json", _breaking_r2_edit)
+    assert main(["reverify", base, edited, spec_file]) == 1
+    out = capsys.readouterr().out
+    assert "FAILED" in out
+    assert "blamed router: R2" in out
+
+
+def test_cli_reverify_liveness_spec(tmp_path, capsys):
+    base = _write_fig1_edit(tmp_path, "base.json")
+    edited = _write_fig1_edit(tmp_path, "edited.json", _benign_r3_edit)
+    spec_path = tmp_path / "liveness.json"
+    spec_path.write_text(json.dumps(LIVENESS_SPEC))
+    assert main(["reverify", base, edited, str(spec_path)]) == 0
+    out = capsys.readouterr().out
+    assert "liveness" in out and "PASSED" in out
+    assert "reverify: consulted" in out
+
+
+def test_cli_reverify_accepts_budget_and_verbose(tmp_path, spec_file, capsys):
+    base = _write_fig1_edit(tmp_path, "base.json")
+    edited = _write_fig1_edit(tmp_path, "edited.json", _benign_r3_edit)
+    assert (
+        main(["reverify", base, edited, spec_file, "--budget", "100000", "--verbose"])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "base: " in out  # verbose shows the base run summary too
+
+
 def test_cli_diff(tmp_path, capsys):
     old = build_figure1()
     new = build_figure1()
