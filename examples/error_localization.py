@@ -14,7 +14,7 @@ Run: ``python examples/error_localization.py``
 """
 
 from repro.bgp.topology import Edge
-from repro.core import Lightyear, SafetyProperty
+from repro.core import SafetyProperty, Workspace
 from repro.lang import GhostAttribute
 from repro.lang.predicates import GhostIs, HasCommunity, Implies, MedIn, Not
 from repro.workloads.figure1 import TRANSIT_COMMUNITY, build_figure1
@@ -26,19 +26,19 @@ def localise_the_bug() -> None:
     from_isp1 = GhostAttribute.source_tracker(
         "FromISP1", config.topology, [Edge("ISP1", "R1")]
     )
-    engine = Lightyear(config, ghosts=(from_isp1,))
+    workspace = Workspace(config, ghosts=(from_isp1,))
 
     prop = SafetyProperty(
         location=Edge("R2", "ISP2"),
         predicate=Not(GhostIs("FromISP1")),
         name="no-transit",
     )
-    invariants = engine.invariants(
+    invariants = workspace.invariants(
         default=Implies(GhostIs("FromISP1"), HasCommunity(TRANSIT_COMMUNITY))
     )
     invariants.set_edge("R2", "ISP2", Not(GhostIs("FromISP1")))
 
-    report = engine.verify_safety(prop, invariants)
+    report = workspace.verify(prop, invariants)
     assert not report.passed
     for failure in report.failures:
         print(failure.explain())
@@ -56,7 +56,7 @@ def refine_the_invariant() -> None:
     from_isp1 = GhostAttribute.source_tracker(
         "FromISP1", config.topology, [Edge("ISP1", "R1")]
     )
-    engine = Lightyear(config, ghosts=(from_isp1,))
+    workspace = Workspace(config, ghosts=(from_isp1,))
 
     interesting = GhostIs("FromISP1") & Not(MedIn(0, 10))
     prop = SafetyProperty(
@@ -64,12 +64,12 @@ def refine_the_invariant() -> None:
         predicate=Not(interesting),
         name="no-transit-above-med-10",
     )
-    invariants = engine.invariants(
+    invariants = workspace.invariants(
         default=Implies(interesting, HasCommunity(TRANSIT_COMMUNITY))
     )
     invariants.set_edge("R2", "ISP2", Not(interesting))
 
-    report = engine.verify_safety(prop, invariants)
+    report = workspace.verify(prop, invariants)
     print(report.summary())
     assert report.passed
     print(

@@ -10,7 +10,7 @@ Run: ``python examples/parse_and_verify.py``
 
 from repro.bgp import config_from_json, config_to_json, parse_config
 from repro.bgp.topology import Edge
-from repro.core import Lightyear, SafetyProperty
+from repro.core import SafetyProperty, Workspace
 from repro.core.properties import InvariantMap
 from repro.lang import GhostAttribute
 from repro.lang.predicates import GhostIs, HasCommunity, Implies, Not
@@ -68,7 +68,7 @@ def main() -> None:
     from_isp1 = GhostAttribute.source_tracker(
         "FromISP1", config.topology, [Edge("ISP1", "R1")]
     )
-    engine = Lightyear(config, ghosts=(from_isp1,))
+    workspace = Workspace(config, ghosts=(from_isp1,))
     prop = SafetyProperty(
         location=Edge("R2", "ISP2"),
         predicate=Not(GhostIs("FromISP1")),
@@ -79,7 +79,7 @@ def main() -> None:
         default=Implies(GhostIs("FromISP1"), HasCommunity(Community(100, 1))),
     )
     invariants.set_edge("R2", "ISP2", Not(GhostIs("FromISP1")))
-    report = engine.verify_safety(prop, invariants)
+    report = workspace.verify(prop, invariants)
     print(report.summary())
     assert report.passed
 

@@ -14,7 +14,7 @@ Run: ``python examples/quickstart.py``
 
 from repro.bgp.prefix import PrefixRange
 from repro.bgp.topology import Edge
-from repro.core import InvariantMap, Lightyear, LivenessProperty, SafetyProperty
+from repro.core import LivenessProperty, SafetyProperty, Workspace
 from repro.lang import GhostAttribute
 from repro.lang.predicates import GhostIs, HasCommunity, Implies, Not, PrefixIn
 from repro.workloads.figure1 import CUSTOMER_PREFIX, TRANSIT_COMMUNITY, build_figure1
@@ -27,7 +27,9 @@ def main() -> None:
     from_isp1 = GhostAttribute.source_tracker(
         "FromISP1", config.topology, [Edge("ISP1", "R1")]
     )
-    engine = Lightyear(config, ghosts=(from_isp1,))
+    # One workspace owns the solver sessions for every property we verify;
+    # its ``verify`` accepts safety and liveness properties alike.
+    workspace = Workspace(config, ghosts=(from_isp1,))
 
     # ----- Safety: the Table 2 problem -----------------------------------
     no_transit = SafetyProperty(
@@ -35,14 +37,14 @@ def main() -> None:
         predicate=Not(GhostIs("FromISP1")),
         name="no-transit",
     )
-    invariants = engine.invariants(
+    invariants = workspace.invariants(
         # Key invariant everywhere: ISP1 routes carry community 100:1.
         default=Implies(GhostIs("FromISP1"), HasCommunity(TRANSIT_COMMUNITY))
     )
     # At the property edge the invariant is the property itself.
     invariants.set_edge("R2", "ISP2", Not(GhostIs("FromISP1")))
 
-    report = engine.verify_safety(no_transit, invariants)
+    report = workspace.verify(no_transit, invariants)
     print(report.summary())
     assert report.passed
 
@@ -62,15 +64,17 @@ def main() -> None:
         constraints=(has_cust, good, good, good, has_cust),
         name="customer-reaches-isp2",
     )
-    report2 = engine.verify_liveness(liveness)
+    # Same entry point as safety: the workspace dispatches on the property
+    # type and reuses the session encodings the safety run already built.
+    report2 = workspace.verify(liveness)
     print(report2.summary())
     assert report2.passed
 
     print(
-        f"\nEngine totals: {engine.stats.num_checks} local checks, "
-        f"largest check {engine.stats.max_vars} vars / "
-        f"{engine.stats.max_clauses} constraints, "
-        f"{engine.stats.wall_time_s:.2f}s."
+        f"\nWorkspace totals: {workspace.stats.num_checks} local checks, "
+        f"largest check {workspace.stats.max_vars} vars / "
+        f"{workspace.stats.max_clauses} constraints, "
+        f"{workspace.stats.wall_time_s:.2f}s."
     )
     print("Both end-to-end properties verified modularly. ✔")
 

@@ -21,7 +21,7 @@ Millstein, Varghese), including every substrate the paper depends on:
 Quickstart::
 
     from repro.bgp.topology import Edge
-    from repro.core import Lightyear, SafetyProperty
+    from repro.core import SafetyProperty, Workspace
     from repro.lang import GhostAttribute
     from repro.lang.predicates import GhostIs, HasCommunity, Implies, Not
     from repro.workloads.figure1 import TRANSIT_COMMUNITY, build_figure1
@@ -30,12 +30,12 @@ Quickstart::
     ghost = GhostAttribute.source_tracker(
         "FromISP1", config.topology, [Edge("ISP1", "R1")]
     )
-    engine = Lightyear(config, ghosts=(ghost,))
+    ws = Workspace(config, ghosts=(ghost,))
     prop = SafetyProperty(Edge("R2", "ISP2"), Not(GhostIs("FromISP1")))
-    inv = engine.invariants(
+    inv = ws.invariants(
         default=Implies(GhostIs("FromISP1"), HasCommunity(TRANSIT_COMMUNITY))
     ).set_edge("R2", "ISP2", Not(GhostIs("FromISP1")))
-    assert engine.verify_safety(prop, inv).passed
+    assert ws.verify(prop, inv).passed      # liveness properties too
 """
 
 __version__ = "1.0.0"

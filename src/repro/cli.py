@@ -13,6 +13,9 @@ Subcommands:
   ``--jobs N`` (or ``--jobs auto``) discharges independent local checks on
   ``N`` worker processes, one chunk per router — the paper's per-device
   deployment model; ``--jobs 1`` forces the serial path.
+  ``--cache DIR`` persists the workspace's outcome cache: a second
+  ``verify`` against the same configuration and spec loads it and re-runs
+  nothing.
 
 * ``lightyear diff OLD NEW``
   Structurally compare two configurations and report which routers
@@ -25,12 +28,16 @@ Subcommands:
   the attribute universe, and (with ``--jobs``) worker processes.  Prints
   the structural diff and, per property, how many checks the re-run
   consulted versus reused.  Exits non-zero if the edited configuration
-  fails a property.
+  fails a property.  With ``--cache DIR`` the base run's outcomes are
+  persisted across *process* invocations: the first call verifies BASE
+  and saves, later calls load the cache, skip the base run entirely, and
+  consult only the edited owners' checks.  A cache saved for a different
+  configuration, ghost set, or spec is rejected with a non-zero exit.
 
 Example::
 
     lightyear verify network.cfg properties.json --jobs auto --verbose
-    lightyear reverify network.cfg edited.cfg properties.json
+    lightyear reverify network.cfg edited.cfg properties.json --cache .lycache
 """
 
 from __future__ import annotations
@@ -41,9 +48,11 @@ from pathlib import Path
 
 from repro.bgp.configjson import config_from_json, config_to_json
 from repro.bgp.configparse import parse_config
-from repro.core.engine import Lightyear
-from repro.core.report import format_liveness_report, format_safety_report
+from repro.core.report import format_report
+from repro.core.workspace import Workspace, WorkspaceCacheMismatch
 from repro.lang.specjson import spec_from_json
+
+CACHE_FILENAME = "workspace.lyc"
 
 
 def _load_config(path: str):
@@ -103,43 +112,6 @@ def _parse_jobs(value: str) -> int | str:
     return jobs
 
 
-def _cmd_verify(args: argparse.Namespace) -> int:
-    config = _load_config(args.config)
-    spec = spec_from_json(Path(args.spec).read_text())
-    ghosts = spec.build_ghosts(config.topology)
-    # With --jobs: the process backend, real cores chunked per owner router.
-    parallel, backend = _resolve_backend(args)
-    # The engine keeps one session pool (and, with --jobs, one persistent
-    # worker pool) alive across every property in the spec, so encodings
-    # built for the first property are reused by all later ones.
-    with Lightyear(
-        config, ghosts=ghosts, parallel=parallel, backend=backend
-    ) as engine:
-        all_passed = True
-        for sspec in spec.safety:
-            invariants = sspec.build_invariants(config.topology)
-            report = engine.verify_safety(
-                sspec.property, invariants, conflict_budget=args.budget
-            )
-            print(format_safety_report(report, verbose=args.verbose))
-            print()
-            all_passed &= report.passed
-
-        for prop in spec.liveness:
-            report = engine.verify_liveness(prop, conflict_budget=args.budget)
-            print(format_liveness_report(report, verbose=args.verbose))
-            print()
-            all_passed &= report.passed
-
-    print(
-        f"totals: {engine.stats.num_checks} local checks, "
-        f"largest {engine.stats.max_vars} vars / {engine.stats.max_clauses} "
-        f"constraints, {engine.stats.wall_time_s:.2f}s "
-        f"({engine.stats.solve_time_s:.2f}s solving)"
-    )
-    return 0 if all_passed else 1
-
-
 def _resolve_backend(args: argparse.Namespace) -> tuple[int | str | None, str]:
     """Map the --jobs/--parallel flags to (parallel, backend), as verify does."""
     if args.jobs is not None:
@@ -149,20 +121,106 @@ def _resolve_backend(args: argparse.Namespace) -> tuple[int | str | None, str]:
     return None, "auto"
 
 
-def _reverify_one(verifier, edited, format_report, verbose: bool) -> bool:
-    """Base verify + incremental reverify for one property; prints both."""
-    initial = verifier.verify()
-    if verbose:
-        print(f"base: {initial.report.summary()}")
-    result = verifier.reverify(edited)
-    print(format_report(result.report, verbose=verbose))
-    print(
-        f"  reverify: consulted {result.checks_consulted} of "
-        f"{result.rerun_checks + result.cached_checks} checks "
+def _spec_problems(spec, topology) -> list[tuple]:
+    """The spec's problems as (prop, invariants, interference) triples."""
+    problems: list[tuple] = []
+    for sspec in spec.safety:
+        problems.append((sspec.property, sspec.build_invariants(topology), None))
+    for prop in spec.liveness:
+        problems.append((prop, None, None))
+    return problems
+
+
+def _cache_file(cache_dir: str | None) -> Path | None:
+    return None if cache_dir is None else Path(cache_dir) / CACHE_FILENAME
+
+
+def _open_workspace(
+    cache_path: Path | None, config, ghosts, parallel, backend, problems, budget
+) -> tuple[Workspace, bool]:
+    """A workspace for ``config``: loaded from the cache when one exists.
+
+    A loadable cache must cover exactly this spec (same properties,
+    invariants, and budget) — a stale or foreign cache raises
+    :class:`WorkspaceCacheMismatch` rather than silently answering for
+    the wrong problem.
+    """
+    if cache_path is None or not cache_path.exists():
+        workspace = Workspace(config, ghosts=ghosts, parallel=parallel, backend=backend)
+        return workspace, False
+    workspace = Workspace.load(
+        cache_path, config=config, ghosts=ghosts, parallel=parallel, backend=backend
+    )
+    for prop, invariants, interference in problems:
+        if not workspace.has_entry(
+            prop,
+            invariants,
+            interference_invariants=interference,
+            conflict_budget=budget,
+        ):
+            raise WorkspaceCacheMismatch(
+                f"workspace cache at {cache_path} does not cover this spec "
+                f"(no cached outcomes for {prop}); delete the cache or rerun "
+                f"without --cache"
+            )
+    return workspace, True
+
+
+def _consulted_line(result, label: str = "reverify") -> str:
+    total = result.rerun_checks + result.cached_checks
+    return (
+        f"  {label}: consulted {result.checks_consulted} of {total} checks "
         f"({result.rerun_checks} re-run, {result.cached_checks} reused)"
     )
-    print()
-    return result.report.passed
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    config = _load_config(args.config)
+    spec = spec_from_json(Path(args.spec).read_text())
+    ghosts = spec.build_ghosts(config.topology)
+    # With --jobs: the process backend, real cores chunked per owner router.
+    parallel, backend = _resolve_backend(args)
+    problems = _spec_problems(spec, config.topology)
+    cache_path = _cache_file(args.cache)
+    # The workspace keeps one session pool (and, with --jobs, one persistent
+    # worker pool) alive across every property in the spec, so encodings
+    # built for the first property are reused by all later ones; with
+    # --cache the outcome store additionally persists across invocations.
+    workspace, loaded = _open_workspace(
+        cache_path, config, ghosts, parallel, backend, problems, args.budget
+    )
+    if loaded:
+        print(f"cache: loaded outcomes from {cache_path}")
+    all_passed = True
+    with workspace:
+        for prop, invariants, interference in problems:
+            report = workspace.verify(
+                prop,
+                invariants,
+                interference_invariants=interference,
+                conflict_budget=args.budget,
+            )
+            print(format_report(report, verbose=args.verbose))
+            if loaded:
+                entry = workspace.entry(
+                    prop,
+                    invariants,
+                    interference_invariants=interference,
+                    conflict_budget=args.budget,
+                )
+                print(_consulted_line(entry.last_result, "cache"))
+            print()
+            all_passed &= report.passed
+        if cache_path is not None and not loaded:
+            workspace.save(cache_path)
+
+    print(
+        f"totals: {workspace.stats.num_checks} local checks, "
+        f"largest {workspace.stats.max_vars} vars / {workspace.stats.max_clauses} "
+        f"constraints, {workspace.stats.wall_time_s:.2f}s "
+        f"({workspace.stats.solve_time_s:.2f}s solving)"
+    )
+    return 0 if all_passed else 1
 
 
 def _cmd_reverify(args: argparse.Namespace) -> int:
@@ -170,10 +228,12 @@ def _cmd_reverify(args: argparse.Namespace) -> int:
 
     base = _load_config(args.base)
     edited = _load_config(args.edited)
-    problems = edited.validate()
-    if problems:
-        print(f"error: edited configuration is invalid: {'; '.join(problems)}",
-              file=sys.stderr)
+    problems_found = edited.validate()
+    if problems_found:
+        print(
+            f"error: edited configuration is invalid: {'; '.join(problems_found)}",
+            file=sys.stderr,
+        )
         return 2
     spec = spec_from_json(Path(args.spec).read_text())
     ghosts = spec.build_ghosts(base.topology)
@@ -181,25 +241,53 @@ def _cmd_reverify(args: argparse.Namespace) -> int:
     print(f"config diff: {diff.summary()}")
 
     parallel, backend = _resolve_backend(args)
+    problems = _spec_problems(spec, base.topology)
+    cache_path = _cache_file(args.cache)
+    # One workspace over the base config: the base run's per-owner sessions
+    # (or, cache-loaded, its persisted outcomes) are what the reverify
+    # re-solves against.
+    workspace, loaded = _open_workspace(
+        cache_path, base, ghosts, parallel, backend, problems, args.budget
+    )
     all_passed = True
-    # One engine over the base config: every incremental verifier borrows
-    # its session pool (and worker pool, with --jobs), so the base run's
-    # encodings are what each reverify re-solves against.
-    with Lightyear(base, ghosts=ghosts, parallel=parallel, backend=backend) as engine:
-        for sspec in spec.safety:
-            verifier = engine.incremental_safety(
-                sspec.property,
-                sspec.build_invariants(base.topology),
+    with workspace:
+        if loaded:
+            print(f"cache: loaded base outcomes from {cache_path} (base run skipped)")
+        else:
+            for prop, invariants, interference in problems:
+                report = workspace.verify(
+                    prop,
+                    invariants,
+                    interference_invariants=interference,
+                    conflict_budget=args.budget,
+                )
+                if args.verbose:
+                    print(f"base: {report.summary()}")
+            if cache_path is not None:
+                # Persist the *base* outcomes: later invocations (each a
+                # fresh process) load them and skip the base run — the
+                # daemonless amortization the cache exists for.
+                workspace.save(cache_path)
+
+        # Only the spec's entries: a loaded cache may hold more properties
+        # than this invocation asked about, and those must not leak into
+        # the output or the exit code.
+        selected = [
+            workspace.entry(
+                prop,
+                invariants,
+                interference_invariants=interference,
                 conflict_budget=args.budget,
             )
-            all_passed &= _reverify_one(
-                verifier, edited, format_safety_report, args.verbose
-            )
-        for prop in spec.liveness:
-            verifier = engine.incremental_liveness(prop, conflict_budget=args.budget)
-            all_passed &= _reverify_one(
-                verifier, edited, format_liveness_report, args.verbose
-            )
+            for prop, invariants, interference in problems
+        ]
+        workspace.apply(edited)
+        for entry in workspace.reverify(selected):
+            result = entry.last_result
+            print(format_report(result.report, verbose=args.verbose))
+            print(_consulted_line(result))
+            print()
+            all_passed &= result.report.passed
     return 0 if all_passed else 1
 
 
@@ -250,6 +338,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument(
         "--budget", type=int, default=None, help="per-check SAT conflict budget"
     )
+    p_verify.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="persist the outcome cache in DIR; a later verify/reverify of "
+        "the same config+spec loads it instead of re-verifying",
+    )
     p_verify.add_argument("--verbose", action="store_true")
     p_verify.set_defaults(func=_cmd_verify)
 
@@ -275,6 +370,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_rev.add_argument(
         "--budget", type=int, default=None, help="per-check SAT conflict budget"
+    )
+    p_rev.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="persist the BASE outcome cache in DIR; later invocations load "
+        "it, skip the base run, and consult only the edited owners' checks",
     )
     p_rev.add_argument("--verbose", action="store_true")
     p_rev.set_defaults(func=_cmd_reverify)

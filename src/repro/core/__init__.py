@@ -1,15 +1,20 @@
 """Lightyear's core: modular control-plane verification.
 
-The public entry point is :class:`Lightyear` (from :mod:`repro.core.engine`),
-which takes a :class:`repro.bgp.config.NetworkConfig`, an end-to-end
-property, and the user's local constraints, generates the paper's local
-checks, and discharges each with the SMT substrate.
+The public entry point is :class:`Workspace`
+(from :mod:`repro.core.workspace`): one session object owning the solver
+pools and outcome caches, with a property-polymorphic ``verify``,
+incremental ``apply``/``reverify``, and an on-disk outcome cache
+(``save``/``load``).
 
-    from repro.core import Lightyear, SafetyProperty, InvariantMap
+    from repro.core import Workspace, SafetyProperty, InvariantMap
 
-    ly = Lightyear(config, ghosts=[from_isp1])
-    report = ly.verify_safety(prop, invariants)
+    ws = Workspace(config, ghosts=(from_isp1,))
+    report = ws.verify(prop, invariants)   # SafetyProperty or LivenessProperty
     assert report.passed
+
+The older entry points — the :class:`Lightyear` facade, the free
+``verify_safety``/``verify_liveness`` functions, and the two incremental
+verifier classes — remain as deprecation shims over ``Workspace``.
 """
 
 from repro.core.properties import (
@@ -22,6 +27,14 @@ from repro.core.checks import CheckKind, CheckOutcome, LocalCheck
 from repro.core.counterexample import CheckFailure
 from repro.core.safety import SafetyReport, verify_safety
 from repro.core.liveness import LivenessReport, verify_liveness
+from repro.core.report import VerificationReport, format_report
+from repro.core.workspace import (
+    Workspace,
+    WorkspaceCacheError,
+    WorkspaceCacheMismatch,
+    WorkspaceEntry,
+    WorkspaceStats,
+)
 from repro.core.engine import Lightyear, EngineStats
 from repro.core.incremental import IncrementalVerifier, IncrementalResult
 from repro.core.incremental_liveness import (
@@ -51,6 +64,13 @@ __all__ = [
     "verify_safety",
     "LivenessReport",
     "verify_liveness",
+    "VerificationReport",
+    "format_report",
+    "Workspace",
+    "WorkspaceCacheError",
+    "WorkspaceCacheMismatch",
+    "WorkspaceEntry",
+    "WorkspaceStats",
     "Lightyear",
     "EngineStats",
     "IncrementalVerifier",

@@ -1,77 +1,50 @@
-"""The Lightyear engine facade (Figure 2).
+"""The Lightyear engine facade — now a deprecated shim over ``Workspace``.
 
-``Lightyear`` bundles a network configuration with ghost-attribute
-definitions and exposes the full pipeline: parse (done upstream), generate
-local checks, run them, and report verified properties or localised
-counterexamples.  It also surfaces the measurements the paper's evaluation
-plots: number of checks, the largest per-check SMT encoding, and
-solve-vs-total time.
+``Lightyear`` predates :class:`repro.core.workspace.Workspace`, which
+owns the same substrate (one engine-wide :class:`repro.smt.SessionPool`,
+one persistent :class:`repro.core.parallel.WorkerPool` when the process
+backend is active) and adds property-polymorphic ``verify``, incremental
+``apply``/``reverify``, and an on-disk outcome cache.  The facade remains
+so existing callers keep working: every method delegates to an internal
+workspace, ``verify_safety``/``verify_liveness`` emit a
+:class:`DeprecationWarning`, and the measurement surface
+(:class:`EngineStats`, ``sessions``, context-manager lifecycle) is the
+workspace's own.
 
-The engine owns the reuse substrate for its lifetime: one owner-keyed
-:class:`repro.smt.SessionPool` shared by every ``verify_*`` call (so a
-spec file with many properties re-encodes each router's transfer terms
-once, not once per property), and — when ``parallel`` > 1 with a process
-backend — one persistent :class:`repro.core.parallel.WorkerPool` whose
-worker processes keep their own sessions across calls.  ``close()`` (or
-use as a context manager) releases the workers.
-
-``incremental_safety`` / ``incremental_liveness`` hand out incremental
-verifiers that *borrow* the engine's pools instead of building their own,
-so a ``reverify`` after a config edit re-solves against encodings the
-engine's earlier calls already built — the CLI ``reverify`` subcommand is
-a thin wrapper over these factories.
+``incremental_safety`` / ``incremental_liveness`` still hand out the
+(deprecated) incremental verifiers, borrowing the engine's pools — the
+modern equivalent is simply more ``verify`` calls on one workspace.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
 from repro.bgp.config import NetworkConfig
 from repro.core.incremental import IncrementalVerifier
 from repro.core.incremental_liveness import IncrementalLivenessVerifier
-from repro.core.liveness import LivenessReport, verify_liveness
-from repro.core.parallel import WorkerPool
+from repro.core.liveness import LivenessReport
 from repro.core.properties import InvariantMap, LivenessProperty, SafetyProperty
-from repro.core.safety import BACKENDS, SafetyReport, resolve_jobs, verify_safety
+from repro.core.safety import SafetyReport
+from repro.core.workspace import Workspace, WorkspaceStats
 from repro.lang.ghost import GhostAttribute
-from repro.smt.solver import SessionPool
 
-
-@dataclass
-class EngineStats:
-    """Aggregated measurements across one or more verification runs."""
-
-    num_checks: int = 0
-    max_vars: int = 0
-    max_clauses: int = 0
-    wall_time_s: float = 0.0
-    solve_time_s: float = 0.0
-
-    def absorb(self, report: SafetyReport | LivenessReport) -> None:
-        self.num_checks += report.num_checks
-        self.max_vars = max(self.max_vars, report.max_vars)
-        self.max_clauses = max(self.max_clauses, report.max_clauses)
-        self.wall_time_s += report.wall_time_s
-        self.solve_time_s += report.solve_time_s
+# The historical name; the stats object itself now lives with Workspace.
+EngineStats = WorkspaceStats
 
 
 class Lightyear:
-    """Verify end-to-end BGP properties through local checks.
+    """Deprecated facade: verify end-to-end BGP properties via local checks.
 
-    Parameters
-    ----------
-    config:
-        The parsed network (topology + per-router policies).
-    ghosts:
-        Ghost-attribute definitions available to properties and invariants.
-    parallel:
-        Worker count for independent local checks: an integer, ``"auto"``
-        (one per core), or ``None``/``1`` for the serial path.
-    backend:
-        Execution strategy: ``"auto"``/``"process"`` run checks as worker
-        *processes* chunked by owner router (the paper's per-device model,
-        with a serial fallback), ``"serial"`` forces in-process execution,
-        ``"thread"`` keeps the legacy thread pool.
+    .. deprecated::
+        Use :class:`repro.core.workspace.Workspace`; its ``verify`` method
+        accepts safety and liveness properties alike, and
+        ``apply``/``reverify``/``save``/``load`` subsume the incremental
+        verifier factories.
+
+    Parameters mirror :class:`Workspace` (config, ghosts, parallel,
+    backend); ``verify_safety``/``verify_liveness`` delegate to the
+    workspace's polymorphic ``verify`` and warn.
     """
 
     def __init__(
@@ -81,35 +54,34 @@ class Lightyear:
         parallel: int | str | None = None,
         backend: str = "auto",
     ) -> None:
-        problems = config.validate()
-        if problems:
-            raise ValueError("invalid network configuration: " + "; ".join(problems))
-        if backend not in BACKENDS:
-            raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        self._workspace = Workspace(
+            config, ghosts=ghosts, parallel=parallel, backend=backend
+        )
         self.config = config
         self.ghosts = tuple(ghosts)
         self.parallel = parallel
         self.backend = backend
-        self.stats = EngineStats()
-        self.sessions = SessionPool()
-        self._worker_pool: WorkerPool | None = None
 
-    def _workers(self) -> WorkerPool | None:
+    @property
+    def stats(self) -> WorkspaceStats:
+        return self._workspace.stats
+
+    @property
+    def sessions(self):
+        return self._workspace.sessions
+
+    @property
+    def workspace(self) -> Workspace:
+        """The underlying workspace (migration escape hatch)."""
+        return self._workspace
+
+    def _workers(self):
         """The engine's persistent worker pool, created on first use."""
-        if self.backend not in ("auto", "process"):
-            return None
-        jobs = resolve_jobs(self.parallel)
-        if jobs < 2:
-            return None
-        if self._worker_pool is None:
-            self._worker_pool = WorkerPool(jobs)
-        return self._worker_pool
+        return self._workspace._workers()
 
     def close(self) -> None:
         """Release the persistent worker processes, if any."""
-        if self._worker_pool is not None:
-            self._worker_pool.close()
-            self._worker_pool = None
+        self._workspace.close()
 
     def __enter__(self) -> "Lightyear":
         return self
@@ -119,7 +91,7 @@ class Lightyear:
 
     def invariants(self, default=None) -> InvariantMap:
         """A fresh invariant map over this network's topology."""
-        return InvariantMap(self.config.topology, default=default)
+        return self._workspace.invariants(default=default)
 
     def verify_safety(
         self,
@@ -127,20 +99,15 @@ class Lightyear:
         invariants: InvariantMap,
         conflict_budget: int | None = None,
     ) -> SafetyReport:
-        """Run the §4 pipeline for one safety property."""
-        report = verify_safety(
-            self.config,
-            prop,
-            invariants,
-            ghosts=self.ghosts,
-            parallel=self.parallel,
-            conflict_budget=conflict_budget,
-            backend=self.backend,
-            sessions=self.sessions,
-            workers=self._workers(),
+        """Run the §4 pipeline for one safety property (deprecated)."""
+        warnings.warn(
+            "Lightyear.verify_safety is deprecated; use Workspace.verify",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        self.stats.absorb(report)
-        return report
+        return self._workspace.verify(
+            prop, invariants, conflict_budget=conflict_budget
+        )
 
     def verify_liveness(
         self,
@@ -148,20 +115,17 @@ class Lightyear:
         interference_invariants: dict[str, InvariantMap] | None = None,
         conflict_budget: int | None = None,
     ) -> LivenessReport:
-        """Run the §5 pipeline for one liveness property."""
-        report = verify_liveness(
-            self.config,
+        """Run the §5 pipeline for one liveness property (deprecated)."""
+        warnings.warn(
+            "Lightyear.verify_liveness is deprecated; use Workspace.verify",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._workspace.verify(
             prop,
             interference_invariants=interference_invariants,
-            ghosts=self.ghosts,
-            parallel=self.parallel,
             conflict_budget=conflict_budget,
-            backend=self.backend,
-            sessions=self.sessions,
-            workers=self._workers(),
         )
-        self.stats.absorb(report)
-        return report
 
     def incremental_safety(
         self,
@@ -186,7 +150,7 @@ class Lightyear:
             backend=self.backend,
             conflict_budget=conflict_budget,
             sessions=self.sessions,
-            workers=self._workers,
+            workers=self._workspace._workers,
         )
 
     def incremental_liveness(
@@ -205,5 +169,5 @@ class Lightyear:
             backend=self.backend,
             conflict_budget=conflict_budget,
             sessions=self.sessions,
-            workers=self._workers,
+            workers=self._workspace._workers,
         )

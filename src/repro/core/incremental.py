@@ -27,15 +27,21 @@ and AS-path reasoning, so an ``set_external_asn`` edit on an unchanged
 topology must invalidate every cached outcome — keying exclusively on
 router digests used to reuse a stale universe and stale outcomes.
 
-The §5 liveness pipeline has the same owner-granular incremental wrapper
-in :mod:`repro.core.incremental_liveness`; it shares the digest helpers
-defined here (:func:`config_digests` / :func:`diff_digests`).
+Since the :class:`repro.core.workspace.Workspace` redesign, the machinery
+lives in :class:`SafetyTracker` — the per-property owner-indexed cache a
+workspace drives (and persists to disk).  The public
+:class:`IncrementalVerifier` remains as a deprecated shim over a
+single-property workspace.  The §5 liveness pipeline has the same
+owner-granular tracker in :mod:`repro.core.incremental_liveness`; it
+shares the digest helpers defined here (:func:`config_digests` /
+:func:`diff_digests`).
 """
 
 from __future__ import annotations
 
 import hashlib
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Callable
 
@@ -78,9 +84,9 @@ def network_digest(config: NetworkConfig) -> str:
 def config_digests(config: NetworkConfig) -> dict:
     """Per-router policy digests plus the :data:`NETWORK_DIGEST_KEY` entry.
 
-    This is the change-detection snapshot both incremental verifiers diff:
-    every input that can alter a cached outcome without altering the
-    topology object graph is covered by some key.
+    This is the change-detection snapshot the trackers diff: every input
+    that can alter a cached outcome without altering the topology object
+    graph is covered by some key.
     """
     digests: dict = config.policy_digests()
     digests[NETWORK_DIGEST_KEY] = network_digest(config)
@@ -94,15 +100,38 @@ def diff_digests(old: dict, new: dict) -> set:
     return changed
 
 
+def diff_config_snapshot(
+    old_digests: dict, config: NetworkConfig
+) -> tuple[dict, set, bool]:
+    """Digest snapshot diff: (new digests, changed routers, network edit?).
+
+    The single change-detection routine both trackers run — PR 4 had to
+    fix it once (external ASNs were invisible to router digests), so it
+    must not exist in two copies.
+    """
+    new_digests = config_digests(config)
+    changed = diff_digests(old_digests, new_digests)
+    network_changed = NETWORK_DIGEST_KEY in changed
+    changed.discard(NETWORK_DIGEST_KEY)
+    return new_digests, changed, network_changed
+
+
+def topology_changed(old: NetworkConfig, new: NetworkConfig) -> bool:
+    """Whether two configs differ in routers or edges (check-set identity)."""
+    return (
+        new.topology.routers != old.topology.routers
+        or new.topology.edges != old.topology.edges
+    )
+
+
 class IncrementalSubstrate:
-    """Shared pool/digest plumbing for the incremental verifiers.
+    """Shared pool plumbing for workspaces and the incremental verifiers.
 
     Owns (or borrows) the persistent reuse substrate: an owner-keyed
-    :class:`SessionPool`, an optional :class:`WorkerPool` (or a lazy
-    supplier of one, like ``Lightyear._workers``), and the digest snapshot
-    the change detector diffs against.  Both the safety and the liveness
-    incremental verifiers inherit this, so pool-lifecycle fixes land in
-    exactly one place.
+    :class:`SessionPool` and an optional :class:`WorkerPool` (or a lazy
+    supplier of one, like ``Workspace._workers``).
+    :class:`repro.core.workspace.Workspace` inherits this, so
+    pool-lifecycle fixes land in exactly one place.
     """
 
     def __init__(
@@ -118,11 +147,10 @@ class IncrementalSubstrate:
         self.conflict_budget = conflict_budget
         self.sessions = sessions if sessions is not None else SessionPool()
         self._owns_sessions = sessions is None
-        # ``workers`` lends an externally owned pool; the verifier then
+        # ``workers`` lends an externally owned pool; the substrate then
         # never creates or closes worker processes itself.
         self._borrowed_workers = workers
         self._worker_pool: WorkerPool | None = None
-        self._digests: dict = {}
 
     def _workers(self) -> WorkerPool | None:
         if self._borrowed_workers is not None:
@@ -154,18 +182,9 @@ class IncrementalSubstrate:
         one keeps running — its contexts are content-fingerprinted, so the
         new topology simply ships as a new context.
         """
-        self._digests = {}
         if self._owns_sessions:
             self.sessions.clear()
         self.close()
-
-    def _diff_config(self, config: NetworkConfig) -> tuple[dict, set, bool]:
-        """Digest snapshot diff: (new digests, changed routers, network?)."""
-        new_digests = config_digests(config)
-        changed = diff_digests(self._digests, new_digests)
-        network_changed = NETWORK_DIGEST_KEY in changed
-        changed.discard(NETWORK_DIGEST_KEY)
-        return new_digests, changed, network_changed
 
 
 @dataclass
@@ -188,53 +207,57 @@ class IncrementalResult:
         return self.cached_checks / total if total else 0.0
 
 
-class IncrementalVerifier(IncrementalSubstrate):
-    """Verify once, then re-verify cheaply after per-router config edits.
+class SafetyTracker:
+    """The owner-indexed §4 cache for one safety property.
 
-    The verifier caches each local check's outcome grouped by the owning
-    router, keyed by that router's configuration digest.  ``reverify`` with
-    an updated :class:`NetworkConfig` (same topology) re-runs only the
-    groups whose owner digest changed — cost is O(changed owner), not a
-    walk over the full outcome cache.  Changing the property or invariants
-    requires a new verifier — those inputs touch every check.
+    This is the unit a :class:`repro.core.workspace.Workspace` keeps per
+    verified property: the generated check list and every outcome stored
+    grouped by owner router, keyed by that router's configuration digest.
+    ``run`` with an updated :class:`NetworkConfig` (same topology) re-runs
+    only the groups whose owner digest changed — cost is O(changed owner),
+    not a walk over the full outcome cache.  Changing the property or
+    invariants requires a new tracker — those inputs touch every check.
 
-    Between runs the verifier also keeps the expensive substrate alive:
+    Between runs the tracker also keeps the expensive state alive:
 
-    * ``sessions`` — one persistent :class:`SessionPool` keyed by owner
-      router.  A rerun check is discharged against its owner's existing
-      clause database, so only the *changed* transfer terms are encoded;
-      owners whose digest is unchanged see no solver activity at all.
-    * ``workers`` — with ``parallel`` > 1 and a process backend, one
-      persistent :class:`WorkerPool` whose worker processes keep their own
-      owner-keyed sessions across ``reverify`` calls (created lazily;
-      ``close()`` releases it).
+    * the substrate's ``sessions`` — one persistent :class:`SessionPool`
+      keyed by owner router.  A rerun check is discharged against its
+      owner's existing clause database, so only the *changed* transfer
+      terms are encoded; owners whose digest is unchanged see no solver
+      activity at all.
     * the attribute universe and generated check list, which are rebuilt
       only when a digest actually changed (and the universe object is
       swapped only when its *content* changed, keeping the symbolic-route
       and transfer caches hot).  ``universe_builds`` counts adoptions.
+
+    The outcome index (but not the solver state) is what
+    ``Workspace.save`` persists, which is why the tracker's whole cache is
+    a few plain picklable dicts.
     """
+
+    kind = "safety"
 
     def __init__(
         self,
+        substrate: IncrementalSubstrate,
         config: NetworkConfig,
         prop: SafetyProperty,
         invariants: InvariantMap,
         ghosts: tuple[GhostAttribute, ...] = (),
-        parallel: int | str | None = None,
-        backend: str = "auto",
         conflict_budget: int | None = None,
-        sessions: SessionPool | None = None,
-        workers: "WorkerPool | Callable[[], WorkerPool | None] | None" = None,
     ) -> None:
-        super().__init__(parallel, backend, conflict_budget, sessions, workers)
+        self.substrate = substrate
         self.prop = prop
         self.invariants = invariants
         self.ghosts = tuple(ghosts)
+        self.conflict_budget = conflict_budget
         self._config = config
+        self._digests: dict = {}
         self._universe: AttributeUniverse | None = None
         self._checks_by_owner: dict[str | None, list[LocalCheck]] | None = None
         self._outcomes_by_owner: dict[str | None, list[CheckOutcome]] = {}
         self.universe_builds = 0
+        self._ran = False
 
     # Kept for introspection/tests: the flat check list, in group order.
     @property
@@ -243,25 +266,57 @@ class IncrementalVerifier(IncrementalSubstrate):
             return None
         return [c for group in self._checks_by_owner.values() for c in group]
 
-    def verify(self) -> IncrementalResult:
-        """Initial full verification (populates the cache)."""
-        return self._run(self._config, full=True)
+    # -- persistence ---------------------------------------------------
 
-    def reverify(self, new_config: NetworkConfig) -> IncrementalResult:
-        """Re-verify after a configuration change."""
-        if (
-            new_config.topology.routers != self._config.topology.routers
-            or new_config.topology.edges != self._config.topology.edges
-        ):
+    def state_dict(self) -> dict:
+        """The picklable cache state ``Workspace.save`` persists."""
+        return {
+            "prop": self.prop,
+            "invariants": self.invariants,
+            "conflict_budget": self.conflict_budget,
+            "config": self._config,
+            "digests": self._digests,
+            "checks_by_owner": self._checks_by_owner,
+            "outcomes_by_owner": self._outcomes_by_owner,
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        substrate: IncrementalSubstrate,
+        state: dict,
+        ghosts: tuple[GhostAttribute, ...],
+    ) -> "SafetyTracker":
+        tracker = cls(
+            substrate,
+            state["config"],
+            state["prop"],
+            state["invariants"],
+            ghosts,
+            state["conflict_budget"],
+        )
+        tracker._digests = state["digests"]
+        tracker._checks_by_owner = state["checks_by_owner"]
+        tracker._outcomes_by_owner = state["outcomes_by_owner"]
+        # The universe is deliberately not persisted (it is cheap to rescan
+        # and references the live term graph); the first run after a load
+        # rebuilds it, which does not touch any cached outcome.
+        tracker._ran = True
+        return tracker
+
+    # -- the incremental run -------------------------------------------
+
+    def run(self, config: NetworkConfig, full: bool = False) -> IncrementalResult:
+        """(Re-)verify against ``config``, reusing everything still valid."""
+        if topology_changed(self._config, config):
             # Topology changes regenerate the check set; start over.
             self._outcomes_by_owner.clear()
             self._universe = None
             self._checks_by_owner = None
-            self._reset_substrate()
-        self._config = new_config
-        return self._run(new_config, full=False)
-
-    # ------------------------------------------------------------------
+            self._digests = {}
+            self.substrate._reset_substrate()
+        self._config = config
+        return self._run(config, full=full or not self._ran)
 
     def _refresh_problem(
         self, config: NetworkConfig, changed: set[str], network_changed: bool
@@ -307,7 +362,9 @@ class IncrementalVerifier(IncrementalSubstrate):
 
     def _run(self, config: NetworkConfig, full: bool) -> IncrementalResult:
         start = time.perf_counter()
-        new_digests, changed, network_changed = self._diff_config(config)
+        new_digests, changed, network_changed = diff_config_snapshot(
+            self._digests, config
+        )
         self._refresh_problem(config, changed, network_changed)
         universe = self._universe
         groups = self._checks_by_owner
@@ -334,16 +391,17 @@ class IncrementalVerifier(IncrementalSubstrate):
             if owner not in rerun_owners:
                 cached.extend(self._outcomes_by_owner[owner])
 
+        substrate = self.substrate
         fresh = run_checks(
             to_run,
             config,
             universe,
             self.ghosts,
-            parallel=self.parallel,
+            parallel=substrate.parallel,
             conflict_budget=self.conflict_budget,
-            backend=self.backend,
-            sessions=self.sessions,
-            workers=self._workers(),
+            backend=substrate.backend,
+            sessions=substrate.sessions,
+            workers=substrate._workers(),
         )
         fresh_by_owner: dict[str | None, list[CheckOutcome]] = {}
         for check, outcome in zip(to_run, fresh):
@@ -351,6 +409,7 @@ class IncrementalVerifier(IncrementalSubstrate):
         for owner in rerun_owners:
             self._outcomes_by_owner[owner] = fresh_by_owner.get(owner, [])
         self._digests = new_digests
+        self._ran = True
 
         report = SafetyReport(
             property=self.prop,
@@ -363,3 +422,92 @@ class IncrementalVerifier(IncrementalSubstrate):
             cached_checks=len(cached),
             checks_consulted=len(to_run),
         )
+
+
+class DeprecatedVerifierShim:
+    """Shared delegation plumbing for the deprecated verifier facades.
+
+    A subclass's ``__init__`` warns, builds the single-property
+    ``_workspace``, and registers ``_entry``; everything else — running,
+    re-verifying, closing, and resolving legacy introspection attributes
+    against the tracker and then the workspace — lives here once.
+    """
+
+    _workspace = None  # set by subclass __init__
+    _entry = None
+
+    def verify(self):
+        """Initial full verification (populates the cache)."""
+        self._workspace._run_entry(self._entry)
+        return self._entry.last_result
+
+    def reverify(self, new_config: NetworkConfig):
+        """Re-verify after a configuration change."""
+        self._workspace.apply(new_config)
+        self._workspace._run_entry(self._entry)
+        return self._entry.last_result
+
+    def close(self) -> None:
+        self._workspace.close()
+
+    def __getattr__(self, name: str):
+        # Delegate introspection attributes (sessions, _universe,
+        # _checks_by_owner, _impl_outcome, universe_builds, _worker_pool,
+        # ...) to the tracker first, then the workspace.
+        entry = object.__getattribute__(self, "_entry")
+        if entry is None:
+            raise AttributeError(name)
+        if hasattr(entry.tracker, name):
+            return getattr(entry.tracker, name)
+        return getattr(object.__getattribute__(self, "_workspace"), name)
+
+
+class IncrementalVerifier(DeprecatedVerifierShim):
+    """Deprecated: verify once, then re-verify cheaply after config edits.
+
+    .. deprecated::
+        Use :class:`repro.core.workspace.Workspace` — ``verify(prop,
+        invariants)`` then ``apply(edited)`` / ``reverify()`` — which
+        additionally handles liveness properties, many properties per
+        session, and an on-disk outcome cache (``save``/``load``).
+
+    This shim builds a single-property workspace and delegates everything
+    to it; results, counters, and session/worker-pool behavior are
+    identical to the pre-workspace implementation, and internal attributes
+    (``sessions``, ``_universe``, ``_checks_by_owner``, ...) resolve
+    against the underlying tracker and workspace.
+    """
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        prop: SafetyProperty,
+        invariants: InvariantMap,
+        ghosts: tuple[GhostAttribute, ...] = (),
+        parallel: int | str | None = None,
+        backend: str = "auto",
+        conflict_budget: int | None = None,
+        sessions: SessionPool | None = None,
+        workers: "WorkerPool | Callable[[], WorkerPool | None] | None" = None,
+    ) -> None:
+        warnings.warn(
+            "IncrementalVerifier is deprecated; use repro.core.workspace."
+            "Workspace (verify/apply/reverify) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.core.workspace import Workspace
+
+        self._workspace = Workspace(
+            config,
+            ghosts=ghosts,
+            parallel=parallel,
+            backend=backend,
+            conflict_budget=conflict_budget,
+            sessions=sessions,
+            workers=workers,
+        )
+        self.prop = prop
+        self.invariants = invariants
+        self.ghosts = tuple(ghosts)
+        self._entry = self._workspace._ensure_entry(prop, invariants)

@@ -12,26 +12,23 @@ determines the invalidation contract:
   — and nothing else of them (including each sub-proof's owner-less
   implication check, which reads only the invariants);
 * the final **implication** ``C_n ⊆ P`` reads only the property and
-  constraints, which are fixed for a verifier's lifetime: it is *never*
+  constraints, which are fixed for a tracker's lifetime: it is *never*
   re-run for a config edit;
 * a **network-level** edit (external ASNs, :data:`repro.core.incremental.
   NETWORK_DIGEST_KEY`) changes the attribute universe under every
   encoding and invalidates everything.
 
-Like :class:`repro.core.incremental.IncrementalVerifier`, the cache is an
-owner index per pipeline stage: ``reverify`` diffs per-router digests plus
-the network digest (O(routers)), then touches only the changed owners'
-groups — ``IncrementalLivenessResult.checks_consulted`` counts what a run
-actually examined.  Between runs the verifier keeps the whole reuse
-substrate alive: one covering universe (swapped only on content change),
-one owner-keyed :class:`SessionPool`, and optionally one persistent
-:class:`WorkerPool` — so a reverify re-encodes only the edited owner's
-terms and re-solves nothing else.
+Like :class:`repro.core.incremental.SafetyTracker`, the cache is an owner
+index per pipeline stage; :class:`LivenessTracker` is the per-property
+unit a :class:`repro.core.workspace.Workspace` keeps (and persists to
+disk), and the public :class:`IncrementalLivenessVerifier` remains as a
+deprecated shim over a single-property workspace.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Callable
 
@@ -42,7 +39,12 @@ from repro.core.checks import (
     generate_safety_checks,
     group_checks_by_owner,
 )
-from repro.core.incremental import IncrementalSubstrate
+from repro.core.incremental import (
+    DeprecatedVerifierShim,
+    IncrementalSubstrate,
+    diff_config_snapshot,
+    topology_changed,
+)
 from repro.core.liveness import (
     LivenessReport,
     generate_liveness_checks,
@@ -81,52 +83,44 @@ _IMPL = "impl"
 _SUB = "sub"
 
 
-class IncrementalLivenessVerifier(IncrementalSubstrate):
-    """Verify a liveness property once, then re-verify cheaply after edits.
+class LivenessTracker:
+    """The owner-indexed §5 cache for one liveness property.
 
-    The verifier caches the generated §5 check set and every outcome in an
+    The tracker caches the generated §5 check set and every outcome in an
     owner index per stage (propagation groups, the implication, each
     sub-proof's owner groups), keyed by per-router policy digests plus the
-    network-level digest.  ``reverify`` with an updated
-    :class:`NetworkConfig` (same topology) re-runs only what the edit
-    invalidated; cost is O(changed owner), not a walk over the cache.
-    Changing the property or the caller-supplied interference invariants
-    requires a new verifier — those inputs touch every check.
+    network-level digest.  ``run`` with an updated :class:`NetworkConfig`
+    (same topology) re-runs only what the edit invalidated; cost is
+    O(changed owner), not a walk over the cache.  Changing the property or
+    the caller-supplied interference invariants requires a new tracker —
+    those inputs touch every check.
 
-    Between runs the verifier keeps the expensive substrate alive:
-
-    * ``sessions`` — one persistent owner-keyed :class:`SessionPool`
-      shared by propagation, implication, and all sub-proof checks; a
-      rerun discharges against the owner's existing clause database, so
-      unchanged owners see no solver activity at all.  Pass the engine's
-      pool (``Lightyear.incremental_liveness``) to share it wider.
-    * ``workers`` — a :class:`WorkerPool` (or a lazy supplier like
-      ``Lightyear._workers``) lends persistent worker processes; without
-      one, the verifier creates its own when ``parallel`` > 1 with a
-      process backend (``close()`` releases only an owned pool).
-    * the covering universe and the generated check groups, rebuilt only
-      when a digest actually changed — and the universe object is swapped
-      only when its *content* changed, keeping the symbolic-route and
-      transfer caches hot (``universe_builds`` counts adoptions).
+    Between runs the tracker keeps the expensive state alive: the
+    substrate's persistent owner-keyed :class:`SessionPool` (shared by
+    propagation, implication, and all sub-proof checks), the covering
+    universe (swapped only on content change; ``universe_builds`` counts
+    adoptions), and the generated check groups.  The outcome index is
+    plain picklable dicts — what ``Workspace.save`` persists.
     """
+
+    kind = "liveness"
 
     def __init__(
         self,
+        substrate: IncrementalSubstrate,
         config: NetworkConfig,
         prop: LivenessProperty,
         interference_invariants: dict[str, InvariantMap] | None = None,
         ghosts: tuple[GhostAttribute, ...] = (),
-        parallel: int | str | None = None,
-        backend: str = "auto",
         conflict_budget: int | None = None,
-        sessions: SessionPool | None = None,
-        workers: "WorkerPool | Callable[[], WorkerPool | None] | None" = None,
     ) -> None:
-        super().__init__(parallel, backend, conflict_budget, sessions, workers)
+        self.substrate = substrate
         self.prop = prop
         self.interference_invariants = interference_invariants
         self.ghosts = tuple(ghosts)
+        self.conflict_budget = conflict_budget
         self._config = config
+        self._digests: dict = {}
         self._universe: AttributeUniverse | None = None
         # The owner indexes, one per pipeline stage.
         self._prop_groups: dict[str | None, list[LocalCheck]] | None = None
@@ -139,19 +133,60 @@ class IncrementalLivenessVerifier(IncrementalSubstrate):
         self._impl_outcome: CheckOutcome | None = None
         self._sub_outcomes: dict[str, dict[str | None, list[CheckOutcome]]] = {}
         self.universe_builds = 0
+        self._ran = False
 
-    # -- entry points --------------------------------------------------
+    # -- persistence ---------------------------------------------------
 
-    def verify(self) -> IncrementalLivenessResult:
-        """Initial full verification (populates every cache)."""
-        return self._run(self._config, full=True)
+    def state_dict(self) -> dict:
+        """The picklable cache state ``Workspace.save`` persists."""
+        return {
+            "prop": self.prop,
+            "interference_invariants": self.interference_invariants,
+            "conflict_budget": self.conflict_budget,
+            "config": self._config,
+            "digests": self._digests,
+            "prop_groups": self._prop_groups,
+            "implication": self._implication,
+            "sub_properties": self._sub_properties,
+            "sub_invariants": self._sub_invariants,
+            "sub_groups": self._sub_groups,
+            "prop_outcomes": self._prop_outcomes,
+            "impl_outcome": self._impl_outcome,
+            "sub_outcomes": self._sub_outcomes,
+        }
 
-    def reverify(self, new_config: NetworkConfig) -> IncrementalLivenessResult:
-        """Re-verify after a configuration change."""
-        if (
-            new_config.topology.routers != self._config.topology.routers
-            or new_config.topology.edges != self._config.topology.edges
-        ):
+    @classmethod
+    def from_state(
+        cls,
+        substrate: IncrementalSubstrate,
+        state: dict,
+        ghosts: tuple[GhostAttribute, ...],
+    ) -> "LivenessTracker":
+        tracker = cls(
+            substrate,
+            state["config"],
+            state["prop"],
+            state["interference_invariants"],
+            ghosts,
+            state["conflict_budget"],
+        )
+        tracker._digests = state["digests"]
+        tracker._prop_groups = state["prop_groups"]
+        tracker._implication = state["implication"]
+        tracker._sub_properties = state["sub_properties"]
+        tracker._sub_invariants = state["sub_invariants"]
+        tracker._sub_groups = state["sub_groups"]
+        tracker._prop_outcomes = state["prop_outcomes"]
+        tracker._impl_outcome = state["impl_outcome"]
+        tracker._sub_outcomes = state["sub_outcomes"]
+        tracker._ran = True
+        return tracker
+
+    # -- the incremental run -------------------------------------------
+
+    def run(self, config: NetworkConfig, full: bool = False) -> IncrementalLivenessResult:
+        """(Re-)verify against ``config``, reusing everything still valid."""
+        if topology_changed(self._config, config):
             # Topology changes regenerate the check set; start over.
             self._universe = None
             self._prop_groups = None
@@ -160,11 +195,10 @@ class IncrementalLivenessVerifier(IncrementalSubstrate):
             self._prop_outcomes = {}
             self._impl_outcome = None
             self._sub_outcomes = {}
-            self._reset_substrate()
-        self._config = new_config
-        return self._run(new_config, full=False)
-
-    # -- internals -----------------------------------------------------
+            self._digests = {}
+            self.substrate._reset_substrate()
+        self._config = config
+        return self._run(config, full=full or not self._ran)
 
     def _refresh_problem(
         self, config: NetworkConfig, changed: set[str], network_changed: bool
@@ -220,7 +254,9 @@ class IncrementalLivenessVerifier(IncrementalSubstrate):
     def _run(self, config: NetworkConfig, full: bool) -> IncrementalLivenessResult:
         start = time.perf_counter()
         self.prop.validate_against(config.topology)
-        new_digests, changed, network_changed = self._diff_config(config)
+        new_digests, changed, network_changed = diff_config_snapshot(
+            self._digests, config
+        )
         self._refresh_problem(config, changed, network_changed)
         universe = self._universe
         prop_groups = self._prop_groups
@@ -265,16 +301,17 @@ class IncrementalLivenessVerifier(IncrementalSubstrate):
                     to_run.extend(group)
                     slots.extend((_SUB, router, owner) for __ in group)
 
+        substrate = self.substrate
         fresh = run_checks(
             to_run,
             config,
             universe,
             self.ghosts,
-            parallel=self.parallel,
+            parallel=substrate.parallel,
             conflict_budget=self.conflict_budget,
-            backend=self.backend,
-            sessions=self.sessions,
-            workers=self._workers(),
+            backend=substrate.backend,
+            sessions=substrate.sessions,
+            workers=substrate._workers(),
         )
 
         # Scatter fresh outcomes back into the owner indexes.
@@ -296,6 +333,7 @@ class IncrementalLivenessVerifier(IncrementalSubstrate):
             for owner in owners:
                 cache[owner] = fresh_sub.get(router, {}).get(owner, [])
         self._digests = new_digests
+        self._ran = True
 
         assert self._impl_outcome is not None
         report = LivenessReport(
@@ -326,4 +364,57 @@ class IncrementalLivenessVerifier(IncrementalSubstrate):
             rerun_checks=len(fresh),
             cached_checks=total - len(fresh),
             checks_consulted=len(to_run),
+        )
+
+
+class IncrementalLivenessVerifier(DeprecatedVerifierShim):
+    """Deprecated: verify a liveness property once, then re-verify cheaply.
+
+    .. deprecated::
+        Use :class:`repro.core.workspace.Workspace` — ``verify(prop)``
+        then ``apply(edited)`` / ``reverify()`` — which handles safety and
+        liveness uniformly and adds an on-disk outcome cache
+        (``save``/``load``).
+
+    This shim builds a single-property workspace and delegates everything
+    to it; results, counters, and pool behavior are identical to the
+    pre-workspace implementation, and internal attributes
+    (``sessions``, ``_prop_groups``, ``_impl_outcome``, ...) resolve
+    against the underlying tracker and workspace.
+    """
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        prop: LivenessProperty,
+        interference_invariants: dict[str, InvariantMap] | None = None,
+        ghosts: tuple[GhostAttribute, ...] = (),
+        parallel: int | str | None = None,
+        backend: str = "auto",
+        conflict_budget: int | None = None,
+        sessions: SessionPool | None = None,
+        workers: "WorkerPool | Callable[[], WorkerPool | None] | None" = None,
+    ) -> None:
+        warnings.warn(
+            "IncrementalLivenessVerifier is deprecated; use repro.core."
+            "workspace.Workspace (verify/apply/reverify) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.core.workspace import Workspace
+
+        self._workspace = Workspace(
+            config,
+            ghosts=ghosts,
+            parallel=parallel,
+            backend=backend,
+            conflict_budget=conflict_budget,
+            sessions=sessions,
+            workers=workers,
+        )
+        self.prop = prop
+        self.interference_invariants = interference_invariants
+        self.ghosts = tuple(ghosts)
+        self._entry = self._workspace._ensure_entry(
+            prop, interference_invariants=interference_invariants
         )

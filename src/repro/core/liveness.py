@@ -54,13 +54,12 @@ from repro.core.checks import (
     LocalCheck,
     generate_safety_checks,
 )
-from repro.core.counterexample import CheckFailure
 from repro.core.parallel import WorkerPool
 from repro.core.properties import InvariantMap, LivenessProperty, SafetyProperty
+from repro.core.report import VerificationReport
 from repro.core.safety import (
     SafetyReport,
     build_universe,
-    failure_status,
     run_checks,
 )
 from repro.lang.ghost import GhostAttribute
@@ -70,8 +69,15 @@ from repro.smt.solver import SessionPool
 
 
 @dataclass
-class LivenessReport:
-    """Outcome of liveness verification."""
+class LivenessReport(VerificationReport):
+    """Outcome of liveness verification.
+
+    Outcome accounting (``passed``/``failures``/``unknowns``/size maxima/
+    solve time) is inherited from the shared
+    :class:`repro.core.report.VerificationReport` protocol, derived from
+    :meth:`iter_outcomes` — propagation checks first, then the final
+    implication, then every no-interference sub-proof's outcomes.
+    """
 
     property: LivenessProperty
     propagation_outcomes: list[CheckOutcome]
@@ -79,74 +85,15 @@ class LivenessReport:
     interference_reports: dict[str, SafetyReport]
     wall_time_s: float
 
-    @property
-    def passed(self) -> bool:
-        return (
-            all(o.passed for o in self.propagation_outcomes)
-            and self.implication_outcome.passed
-            and all(r.passed for r in self.interference_reports.values())
-        )
-
-    @property
-    def failures(self) -> list[CheckFailure]:
-        found = [o.failure for o in self.propagation_outcomes if o.failure is not None]
-        if self.implication_outcome.failure is not None:
-            found.append(self.implication_outcome.failure)
+    def iter_outcomes(self):
+        yield from self.propagation_outcomes
+        yield self.implication_outcome
         for report in self.interference_reports.values():
-            found.extend(report.failures)
-        return found
-
-    @property
-    def unknowns(self) -> list[CheckOutcome]:
-        """Outcomes the solver could not decide (budget exhausted).
-
-        Unknowns fail the property (``passed`` is False) but carry no
-        counterexample, so they are invisible to ``failures`` — summaries
-        must count them separately or an unknown-only failure reads as
-        ``FAILED (0 checks)``.
-        """
-        found = [o for o in self.propagation_outcomes if o.unknown]
-        if self.implication_outcome.unknown:
-            found.append(self.implication_outcome)
-        for report in self.interference_reports.values():
-            found.extend(report.unknowns)
-        return found
-
-    @property
-    def num_checks(self) -> int:
-        return (
-            len(self.propagation_outcomes)
-            + 1
-            + sum(r.num_checks for r in self.interference_reports.values())
-        )
-
-    @property
-    def max_vars(self) -> int:
-        candidates = [o.stats.num_vars for o in self.propagation_outcomes]
-        candidates.append(self.implication_outcome.stats.num_vars)
-        candidates.extend(r.max_vars for r in self.interference_reports.values())
-        return max(candidates, default=0)
-
-    @property
-    def max_clauses(self) -> int:
-        candidates = [o.stats.num_clauses for o in self.propagation_outcomes]
-        candidates.append(self.implication_outcome.stats.num_clauses)
-        candidates.extend(r.max_clauses for r in self.interference_reports.values())
-        return max(candidates, default=0)
-
-    @property
-    def solve_time_s(self) -> float:
-        total = sum(o.stats.solve_time_s for o in self.propagation_outcomes)
-        total += self.implication_outcome.stats.solve_time_s
-        total += sum(r.solve_time_s for r in self.interference_reports.values())
-        return total
+            yield from report.iter_outcomes()
 
     def summary(self) -> str:
-        status = "PASSED" if self.passed else failure_status(
-            self.failures, self.unknowns
-        )
         return (
-            f"{self.property}: {status} — {self.num_checks} local checks "
+            f"{self.property}: {self.status()} — {self.num_checks} local checks "
             f"({len(self.propagation_outcomes)} propagation, "
             f"{len(self.interference_reports)} no-interference sub-proofs), "
             f"{self.wall_time_s:.2f}s total"

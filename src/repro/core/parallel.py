@@ -19,12 +19,15 @@ Two execution models share that chunking:
   ``run_checks`` calls.  Each worker keeps an owner-keyed
   :class:`repro.smt.SessionPool` for its whole life and caches every
   problem context it has ever been shipped, and the parent routes each
-  owner's chunks to a fixed worker (first-seen round-robin affinity), so a
-  repeated invocation — incremental re-verification, a multi-family WAN
-  sweep, the liveness sub-proof loop — re-solves against the clause
+  owner's chunks to a fixed worker (size-aware affinity: unseen owners are
+  assigned largest-first to the least-loaded worker, weighted by their
+  check counts, and then stay pinned so their sessions keep paying off),
+  so a repeated invocation — incremental re-verification, a multi-family
+  WAN sweep, the liveness sub-proof loop — re-solves against the clause
   databases earlier calls already built instead of re-encoding from
   scratch.  This is the process-backend analogue of passing one
-  ``SessionPool`` through the serial path.
+  ``SessionPool`` through the serial path; ``stats()`` reports the
+  resulting owner→worker load balance.
 
 Process pools are not universally available (sandboxes without semaphores,
 restricted spawn semantics); both models degrade gracefully — ``None`` is
@@ -195,13 +198,18 @@ class WorkerPool:
 
     Unlike :func:`run_checks_in_processes`, whose workers (and therefore
     encodings) die with each call, a ``WorkerPool`` is an object the caller
-    keeps: :class:`repro.core.engine.Lightyear`, :class:`repro.core.
-    incremental.IncrementalVerifier`, and the WAN sweep runners hold one
-    across ``run_checks`` calls.  Three mechanisms make repeat calls cheap:
+    keeps: :class:`repro.core.workspace.Workspace` (and through it the
+    deprecated engine/incremental facades) and the WAN sweep runners hold
+    one across ``run_checks`` calls.  Three mechanisms make repeat calls
+    cheap:
 
     * **owner affinity** — each owner router is pinned to one worker on
-      first sight (round-robin), so all of an owner's chunks, across all
-      calls, hit the same worker's session for that owner;
+      first sight and stays pinned, so all of an owner's chunks, across
+      all calls, hit the same worker's session for that owner.  Assignment
+      is *size-aware*: within a call, unseen owners are placed largest
+      chunk first onto the currently least-loaded worker (load = total
+      checks assigned so far), so heterogeneous networks don't pile their
+      big routers onto one process the way first-seen round-robin did;
     * **context caching** — the (config, universe, ghosts, budget) payload
       is shipped to a worker at most once per distinct problem, identified
       by a content fingerprint (policy digests + topology + universe), and
@@ -236,7 +244,8 @@ class WorkerPool:
         self._token_order: list[int] = []  # FIFO for eviction
         self._next_token = 0
         self._owner_assignment: dict[object, int] = {}
-        self._next_worker = 0
+        self._owner_weight: dict[object, int] = {}  # checks seen per owner
+        self._worker_load: dict[int, int] = {}  # summed weight per worker
         self._run_counter = 0
         self._broken = False
         self._closed = False
@@ -361,13 +370,67 @@ class WorkerPool:
                 except (OSError, ValueError):
                     pass
 
-    def _worker_for(self, owner: object, worker_count: int) -> int:
-        worker_index = self._owner_assignment.get(owner)
-        if worker_index is None:
-            worker_index = self._next_worker % worker_count
+    def _assign_owners(
+        self, chunks: "list[list[tuple[int, LocalCheck]]]", worker_count: int
+    ) -> None:
+        """Pin any unseen owners to workers, size-aware and largest-first.
+
+        Owners already assigned keep their worker — moving one would strand
+        its session encoding.  New owners are sorted by chunk size
+        (descending; owner key breaks ties deterministically) and each goes
+        to the worker with the least total assigned weight, so a
+        heterogeneous network's one giant router no longer lands wherever
+        round-robin happened to point.  Runs in the dispatching thread's
+        caller (not the dispatcher itself) so the assignment maps are never
+        mutated concurrently.
+        """
+        fresh = []
+        for chunk in chunks:
+            owner = check_owner(chunk[0][1])
+            if owner in self._owner_assignment:
+                # Track cumulative per-owner weight for stats/balance.
+                self._owner_weight[owner] = self._owner_weight.get(owner, 0) + len(
+                    chunk
+                )
+                self._worker_load[self._owner_assignment[owner]] += len(chunk)
+            else:
+                fresh.append((owner, len(chunk)))
+        fresh.sort(key=lambda pair: (-pair[1], str(pair[0])))
+        for owner, size in fresh:
+            worker_index = min(
+                range(worker_count), key=lambda w: self._worker_load.get(w, 0)
+            )
             self._owner_assignment[owner] = worker_index
-            self._next_worker += 1
-        return worker_index
+            self._owner_weight[owner] = size
+            self._worker_load[worker_index] = (
+                self._worker_load.get(worker_index, 0) + size
+            )
+
+    def stats(self) -> dict:
+        """Owner→worker load-balance telemetry (plus reuse counters).
+
+        ``per_worker_weight`` is the total number of checks routed to each
+        worker over the pool's lifetime; ``imbalance`` is max/mean of that
+        distribution (1.0 = perfectly balanced), the number the ROADMAP's
+        multi-core scaling item wants recorded next to per-core curves.
+        """
+        loads = [self._worker_load.get(w, 0) for w in range(self.jobs)]
+        owners_per_worker: dict[int, list] = {w: [] for w in range(self.jobs)}
+        for owner, worker_index in self._owner_assignment.items():
+            owners_per_worker[worker_index].append(owner)
+        mean_load = sum(loads) / len(loads) if loads else 0.0
+        return {
+            "jobs": self.jobs,
+            "owners_assigned": len(self._owner_assignment),
+            "per_worker_weight": loads,
+            "per_worker_owners": {
+                w: sorted(owners, key=str) for w, owners in owners_per_worker.items()
+            },
+            "owner_weight": dict(self._owner_weight),
+            "imbalance": (max(loads) / mean_load) if mean_load else 1.0,
+            "contexts_shipped": self.contexts_shipped,
+            "chunks_run": self.chunks_run,
+        }
 
     def run(
         self,
@@ -400,6 +463,9 @@ class WorkerPool:
         payload = self._payloads[token]
         self._run_counter += 1
         run_id = self._run_counter
+        # Pin owners to workers up front (size-aware, largest-first) so the
+        # dispatcher thread below only reads the assignment map.
+        self._assign_owners(chunks, len(self._workers))
 
         # Dispatch from a side thread while this thread drains results —
         # the same decoupling ProcessPoolExecutor's feeder threads provide.
@@ -419,7 +485,7 @@ class WorkerPool:
             try:
                 for chunk_index, chunk in enumerate(chunks):
                     owner = check_owner(chunk[0][1])
-                    worker_index = self._worker_for(owner, len(workers))
+                    worker_index = self._owner_assignment[owner]
                     __, task_queue = workers[worker_index]
                     if token not in shipped[worker_index]:
                         # SimpleQueue.put serialises synchronously, so an

@@ -1,12 +1,110 @@
-"""Plain-text rendering of verification reports (CLI and example output)."""
+"""One report protocol for every verification pipeline, plus rendering.
+
+Safety and liveness used to duplicate their outcome accounting — two
+hand-rolled copies of ``passed``/``failures``/``unknowns``/size maxima
+that had already drifted once (unknown-only reports rendered as
+``FAILED (0 checks)``).  :class:`VerificationReport` is the single
+protocol both now implement: a subclass provides :meth:`iter_outcomes`
+(every :class:`repro.core.checks.CheckOutcome` the run produced, in
+presentation order) and the base derives all counting from it, so a new
+outcome state or a new pipeline changes the accounting in exactly one
+place.
+
+:func:`format_report` renders any report for the CLI and examples; the
+legacy ``format_safety_report``/``format_liveness_report`` names remain
+as aliases.
+"""
 
 from __future__ import annotations
 
-from repro.core.liveness import LivenessReport
-from repro.core.safety import SafetyReport
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.checks import CheckOutcome
+    from repro.core.counterexample import CheckFailure
 
 
-def format_safety_report(report: SafetyReport, verbose: bool = False) -> str:
+def failure_status(failures: list, unknowns: list) -> str:
+    """The failing half of a report summary, counting unknowns distinctly.
+
+    UNKNOWN outcomes (conflict budget exhausted) fail a property but carry
+    no counterexample, so a count of ``failures`` alone renders an
+    unknown-only report as the nonsensical ``FAILED (0 checks)``.
+    """
+    parts = []
+    if failures:
+        parts.append(f"{len(failures)} failed")
+    if unknowns:
+        parts.append(f"{len(unknowns)} unknown")
+    return f"FAILED ({', '.join(parts)})" if parts else "FAILED"
+
+
+class VerificationReport:
+    """Shared outcome-counting protocol for verification reports.
+
+    Subclasses implement :meth:`iter_outcomes`; everything below is derived
+    from it.  ``wall_time_s`` stays a subclass field (dataclasses own their
+    fields), and ``summary()`` stays per-pipeline — only its PASSED/FAILED
+    status half is shared via :meth:`status`.
+    """
+
+    def iter_outcomes(self) -> "Iterator[CheckOutcome]":
+        """Every check outcome in this report, in presentation order."""
+        raise NotImplementedError
+
+    @property
+    def passed(self) -> bool:
+        return all(o.passed for o in self.iter_outcomes())
+
+    @property
+    def failures(self) -> "list[CheckFailure]":
+        return [o.failure for o in self.iter_outcomes() if o.failure is not None]
+
+    @property
+    def unknowns(self) -> "list[CheckOutcome]":
+        """Outcomes the solver could not decide (budget exhausted).
+
+        Unknowns fail the property (``passed`` is False) but carry no
+        counterexample, so they are invisible to ``failures`` — summaries
+        must count them separately or an unknown-only failure reads as
+        ``FAILED (0 checks)``.
+        """
+        return [o for o in self.iter_outcomes() if o.unknown]
+
+    @property
+    def num_checks(self) -> int:
+        return sum(1 for __ in self.iter_outcomes())
+
+    @property
+    def max_vars(self) -> int:
+        """Largest SMT variable count in any single local check (Fig. 3b)."""
+        return max((o.stats.num_vars for o in self.iter_outcomes()), default=0)
+
+    @property
+    def max_clauses(self) -> int:
+        """Largest SMT constraint count in any single local check (Fig. 3b)."""
+        return max((o.stats.num_clauses for o in self.iter_outcomes()), default=0)
+
+    @property
+    def solve_time_s(self) -> float:
+        """Pure constraint-solving time across all checks (Fig. 3d)."""
+        return sum(o.stats.solve_time_s for o in self.iter_outcomes())
+
+    @property
+    def build_time_s(self) -> float:
+        return sum(o.stats.build_time_s for o in self.iter_outcomes())
+
+    def status(self) -> str:
+        """The shared PASSED/FAILED half of a summary line."""
+        if self.passed:
+            return "PASSED"
+        return failure_status(self.failures, self.unknowns)
+
+    def summary(self) -> str:
+        raise NotImplementedError
+
+
+def format_safety_report(report, verbose: bool = False) -> str:
     """Render a safety report: summary, then any failures, then detail."""
     lines = [report.summary()]
     for failure in report.failures:
@@ -27,7 +125,7 @@ def format_safety_report(report: SafetyReport, verbose: bool = False) -> str:
     return "\n".join(lines)
 
 
-def format_liveness_report(report: LivenessReport, verbose: bool = False) -> str:
+def format_liveness_report(report, verbose: bool = False) -> str:
     lines = [report.summary()]
     for outcome in report.propagation_outcomes:
         if not outcome.passed and outcome.failure is not None:
@@ -59,3 +157,10 @@ def format_liveness_report(report: LivenessReport, verbose: bool = False) -> str
             f"{report.implication_outcome.check.description}"
         )
     return "\n".join(lines)
+
+
+def format_report(report, verbose: bool = False) -> str:
+    """Render any :class:`VerificationReport` (safety or liveness)."""
+    if hasattr(report, "interference_reports"):
+        return format_liveness_report(report, verbose=verbose)
+    return format_safety_report(report, verbose=verbose)

@@ -33,9 +33,9 @@ from repro.core.checks import (
     check_owner,
     generate_safety_checks,
 )
-from repro.core.counterexample import CheckFailure
 from repro.core.parallel import WorkerPool, run_checks_in_processes
 from repro.core.properties import InvariantMap, SafetyProperty
+from repro.core.report import VerificationReport, failure_status  # noqa: F401
 from repro.lang.ghost import GhostAttribute
 from repro.lang.predicates import predicate_atoms
 from repro.lang.universe import AttributeUniverse
@@ -44,70 +44,29 @@ from repro.smt.solver import SessionPool
 BACKENDS = ("auto", "serial", "process", "thread")
 
 
-def failure_status(failures: list, unknowns: list) -> str:
-    """The failing half of a report summary, counting unknowns distinctly.
-
-    UNKNOWN outcomes (conflict budget exhausted) fail a property but carry
-    no counterexample, so a count of ``failures`` alone renders an
-    unknown-only report as the nonsensical ``FAILED (0 checks)``.
-    """
-    parts = []
-    if failures:
-        parts.append(f"{len(failures)} failed")
-    if unknowns:
-        parts.append(f"{len(unknowns)} unknown")
-    return f"FAILED ({', '.join(parts)})" if parts else "FAILED"
-
-
 @dataclass
-class SafetyReport:
-    """Everything ``verify_safety`` learned."""
+class SafetyReport(VerificationReport):
+    """Everything ``verify_safety`` learned.
+
+    All outcome accounting (``passed``/``failures``/``unknowns``/size
+    maxima/solve time) is inherited from the shared
+    :class:`repro.core.report.VerificationReport` protocol.
+    """
 
     property: SafetyProperty
     outcomes: list[CheckOutcome]
     wall_time_s: float
 
-    @property
-    def passed(self) -> bool:
-        return all(o.passed for o in self.outcomes)
-
-    @property
-    def failures(self) -> list[CheckFailure]:
-        return [o.failure for o in self.outcomes if o.failure is not None]
-
-    @property
-    def unknowns(self) -> list[CheckOutcome]:
-        return [o for o in self.outcomes if o.unknown]
+    def iter_outcomes(self):
+        return iter(self.outcomes)
 
     @property
     def num_checks(self) -> int:
         return len(self.outcomes)
 
-    @property
-    def max_vars(self) -> int:
-        """Largest SMT variable count in any single local check (Fig. 3b)."""
-        return max((o.stats.num_vars for o in self.outcomes), default=0)
-
-    @property
-    def max_clauses(self) -> int:
-        """Largest SMT constraint count in any single local check (Fig. 3b)."""
-        return max((o.stats.num_clauses for o in self.outcomes), default=0)
-
-    @property
-    def solve_time_s(self) -> float:
-        """Pure constraint-solving time across all checks (Fig. 3d)."""
-        return sum(o.stats.solve_time_s for o in self.outcomes)
-
-    @property
-    def build_time_s(self) -> float:
-        return sum(o.stats.build_time_s for o in self.outcomes)
-
     def summary(self) -> str:
-        status = "PASSED" if self.passed else failure_status(
-            self.failures, self.unknowns
-        )
         return (
-            f"{self.property}: {status} — {self.num_checks} local checks, "
+            f"{self.property}: {self.status()} — {self.num_checks} local checks, "
             f"max {self.max_vars} vars / {self.max_clauses} constraints per check, "
             f"{self.wall_time_s:.2f}s total ({self.solve_time_s:.2f}s solving)"
         )

@@ -214,7 +214,34 @@ class VerificationSpec:
 
 
 def spec_from_json(text: str) -> VerificationSpec:
-    doc = json.loads(text)
+    """Parse a spec document; malformed input raises a readable ValueError.
+
+    Every malformation a user can plausibly write — invalid JSON, a
+    non-object document, a missing required key, a wrong-typed field —
+    surfaces as :class:`ValueError` with the offending detail, never a
+    raw ``KeyError``/``TypeError`` traceback (the CLI turns ValueError
+    into ``error: ...`` and a non-zero exit).
+    """
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"spec is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ValueError(
+            f"spec must be a JSON object with 'ghosts'/'safety'/'liveness' "
+            f"keys, got {type(doc).__name__}"
+        )
+    try:
+        return _spec_from_doc(doc)
+    except KeyError as exc:
+        raise ValueError(
+            f"malformed spec: missing required key {exc.args[0]!r}"
+        ) from exc
+    except (TypeError, AttributeError) as exc:
+        raise ValueError(f"malformed spec: {exc}") from exc
+
+
+def _spec_from_doc(doc: dict[str, Any]) -> VerificationSpec:
     spec = VerificationSpec(ghost_docs=list(doc.get("ghosts", ())))
 
     for sdoc in doc.get("safety", ()):

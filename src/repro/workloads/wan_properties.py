@@ -22,7 +22,10 @@ covers the Table-4c liveness sweep
 region's property, constraints, and interference invariants, and one pool
 shared by all regions' propagation/implication/no-interference checks.
 All runners also accept a persistent :class:`repro.core.parallel.
-WorkerPool` for the process backend.
+WorkerPool` for the process backend — or, since the session-oriented API
+redesign, a whole :class:`repro.core.workspace.Workspace` via
+``workspace=``, whose session pool, worker pool, and execution settings
+the sweep then shares with everything else the workspace runs.
 """
 
 from __future__ import annotations
@@ -145,6 +148,27 @@ def combined_peering_problem(wan: WanNetwork) -> PeeringProblem:
 # ---------------------------------------------------------------------------
 
 
+def _workspace_defaults(
+    workspace,
+    parallel: int | str | None,
+    backend: str,
+    sessions: SessionPool | None,
+    workers: WorkerPool | None,
+) -> tuple[int | str | None, str, SessionPool | None, WorkerPool | None]:
+    """Fill unset execution knobs from a :class:`Workspace`, when given."""
+    if workspace is None:
+        return parallel, backend, sessions, workers
+    if parallel is None:
+        parallel = workspace.parallel
+    if backend == "auto":
+        backend = workspace.backend
+    if sessions is None:
+        sessions = workspace.sessions
+    if workers is None:
+        workers = workspace._workers()
+    return parallel, backend, sessions, workers
+
+
 def _verify_problem_families(
     wan: WanNetwork,
     problems,
@@ -200,6 +224,7 @@ def verify_peering_problems(
     backend: str = "auto",
     sessions: SessionPool | None = None,
     workers: WorkerPool | None = None,
+    workspace=None,
 ) -> list[tuple[PeeringProblem, SafetyReport]]:
     """Run Table-4a peering families with encodings shared across families.
 
@@ -207,10 +232,15 @@ def verify_peering_problems(
     ghost; only the quality predicate differs.  Hoisting the universe and
     the session pool above the family loop therefore turns every family
     after the first into (mostly) assumption-scoped re-solves against the
-    encodings the first family built.
+    encodings the first family built.  Pass ``workspace=`` to share a
+    :class:`repro.core.workspace.Workspace`'s pools and execution settings
+    instead of spelling them out.
     """
     if problems is None:
         problems = all_peering_problems(wan)
+    parallel, backend, sessions, workers = _workspace_defaults(
+        workspace, parallel, backend, sessions, workers
+    )
     return _verify_problem_families(
         wan, problems, parallel, conflict_budget, backend, sessions, workers
     )
@@ -299,6 +329,7 @@ def verify_ip_reuse_safety_problems(
     backend: str = "auto",
     sessions: SessionPool | None = None,
     workers: WorkerPool | None = None,
+    workspace=None,
 ) -> list[tuple[IpReuseSafetyProblem, SafetyReport]]:
     """Run Table-4b families for many regions with shared encodings.
 
@@ -310,6 +341,9 @@ def verify_ip_reuse_safety_problems(
     if regions is None:
         regions = range(wan.regions)
     problems = [ip_reuse_safety_problem(wan, region) for region in regions]
+    parallel, backend, sessions, workers = _workspace_defaults(
+        workspace, parallel, backend, sessions, workers
+    )
     return _verify_problem_families(
         wan, problems, parallel, conflict_budget, backend, sessions, workers
     )
@@ -416,6 +450,7 @@ def verify_ip_reuse_liveness_problems(
     backend: str = "auto",
     sessions: SessionPool | None = None,
     workers: WorkerPool | None = None,
+    workspace=None,
 ) -> list[tuple[IpReuseLivenessProblem, LivenessReport]]:
     """Run Table-4c liveness problems for many regions with shared encodings.
 
@@ -429,6 +464,9 @@ def verify_ip_reuse_liveness_problems(
     if regions is None:
         regions = range(wan.regions)
     problems = [ip_reuse_liveness_problem(wan, region) for region in regions]
+    parallel, backend, sessions, workers = _workspace_defaults(
+        workspace, parallel, backend, sessions, workers
+    )
     preds: list[Predicate] = []
     ghosts = []
     for prob in problems:

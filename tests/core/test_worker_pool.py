@@ -263,3 +263,82 @@ def test_incremental_verifier_keeps_workers_across_reverify():
         assert {f.blamed_router for f in result.report.failures} == {"R3"}
     finally:
         v.close()
+
+
+# ---------------------------------------------------------------------------
+# Size-aware owner->worker assignment (PR 5)
+# ---------------------------------------------------------------------------
+
+
+def _chunk(owner: str, size: int, start: int = 0):
+    """A synthetic (index, check) chunk of ``size`` checks owned by ``owner``."""
+    from repro.lang.predicates import TruePred
+
+    checks = [
+        LocalCheck(
+            kind=CheckKind.EXPORT,
+            edge=Edge(owner, "EXT"),
+            assumption=TruePred(),
+            goal=TruePred(),
+            description=f"synthetic {owner} #{i}",
+        )
+        for i in range(size)
+    ]
+    return [(start + i, c) for i, c in enumerate(checks)]
+
+
+from repro.core.checks import CheckKind, LocalCheck  # noqa: E402
+
+
+def test_assignment_is_size_aware_largest_first():
+    """Unseen owners go largest-first to the least-loaded worker, so a
+    heterogeneous owner mix balances by check weight, not arrival order."""
+    pool = WorkerPool(2)
+    chunks = [_chunk("tiny", 1), _chunk("huge", 10), _chunk("mid", 6), _chunk("small", 3)]
+    pool._assign_owners(chunks, 2)
+    a = pool._owner_assignment
+    # largest-first: huge(10)->w0, mid(6)->w1, small(3)->w1 (6<10), tiny(1)->w1? no:
+    # after small, loads are {0:10, 1:9}; tiny -> w1 (9<10) -> {0:10, 1:10}.
+    assert a["huge"] != a["mid"]
+    loads = pool.stats()["per_worker_weight"]
+    assert sorted(loads) == [10, 10]  # perfectly balanced by weight
+    assert pool.stats()["imbalance"] == 1.0
+    # First-seen round-robin would have paired huge with small: [13, 7].
+
+
+def test_assignment_is_sticky_across_runs():
+    """An owner never moves once pinned — its worker's session encoding is
+    the whole point — even if later runs change the size picture."""
+    pool = WorkerPool(2)
+    pool._assign_owners([_chunk("a", 5), _chunk("b", 4)], 2)
+    first = dict(pool._owner_assignment)
+    pool._assign_owners([_chunk("a", 1), _chunk("b", 50), _chunk("c", 2)], 2)
+    assert {k: v for k, v in pool._owner_assignment.items() if k in first} == first
+    assert "c" in pool._owner_assignment
+
+
+def test_stats_reports_load_balance_shape():
+    pool = WorkerPool(3)
+    pool._assign_owners([_chunk("a", 9), _chunk("b", 5), _chunk("c", 4)], 3)
+    stats = pool.stats()
+    assert stats["jobs"] == 3
+    assert stats["owners_assigned"] == 3
+    assert sum(stats["per_worker_weight"]) == 18
+    assert set(stats["owner_weight"]) == {"a", "b", "c"}
+    assert stats["imbalance"] >= 1.0
+    owners = [o for owner_list in stats["per_worker_owners"].values() for o in owner_list]
+    assert sorted(owners) == ["a", "b", "c"]
+
+
+def test_size_aware_pool_still_matches_serial_outcomes():
+    """End-to-end: the new assignment changes scheduling only — outcomes
+    and order are untouched."""
+    config, ghost, prop, invariants = _fullmesh_problem(6)
+    universe, checks = _pieces(config, ghost, prop, invariants)
+    serial = run_checks(checks, config, universe, (ghost,))
+    with WorkerPool(3) as pool:
+        pooled = _pool_or_skip(pool, pool.run(checks, config, universe, (ghost,)))
+        assert [_fingerprint(o) for o in pooled] == [_fingerprint(o) for o in serial]
+        stats = pool.stats()
+        assert stats["owners_assigned"] == len(pool._owner_assignment)
+        assert sum(stats["per_worker_weight"]) == len(checks)

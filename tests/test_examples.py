@@ -1,0 +1,59 @@
+"""Smoke tests for the runnable examples (PR 5 satellite).
+
+The examples drifted silently before CI ran them; the full set runs as a
+dedicated CI job (see ``.github/workflows/ci.yml``), and the two that the
+quickstart/README story depends on — ``quickstart.py`` (the polymorphic
+``Workspace.verify``) and ``incremental_reverification.py``
+(``apply``/``reverify`` plus the on-disk cache) — are cheap enough to pin
+in tier-1 as real subprocess runs.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO / "examples"
+
+
+def _run_example(name: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.parametrize(
+    "name", ["quickstart.py", "incremental_reverification.py"]
+)
+def test_example_runs_clean(name):
+    proc = _run_example(name)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    # The new-API examples must not trip their own deprecation shims.
+    assert "DeprecationWarning" not in proc.stderr
+
+
+def test_quickstart_exercises_polymorphic_verify():
+    proc = _run_example("quickstart.py")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "Workspace totals" in proc.stdout
+    assert "verified modularly" in proc.stdout
+
+
+def test_incremental_example_exercises_cache_reload():
+    proc = _run_example("incremental_reverification.py")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "cache reload:" in proc.stdout
+    assert "6 checks consulted" in proc.stdout
