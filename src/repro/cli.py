@@ -34,16 +34,24 @@ Subcommands:
   consult only the edited owners' checks.  A cache saved for a different
   configuration, ghost set, or spec is rejected with a non-zero exit.
 
+Exit codes (``verify``/``reverify``): 0 every property proved; 1 a
+property has a counterexample; 2 usage, configuration, or cache errors;
+3 nothing failed outright but some checks are UNKNOWN (``--budget``,
+``--deadline``, ``--wall-budget``) or execution degraded (worker
+crashes, serial fallbacks) — see the README's "Failure modes &
+degradation" section.
+
 Example::
 
     lightyear verify network.cfg properties.json --jobs auto --verbose
-    lightyear reverify network.cfg edited.cfg properties.json --cache .lycache
+    lightyear reverify network.cfg edited.cfg properties.json --deadline 5 --wall-budget 300
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 from repro.bgp.configjson import config_from_json, config_to_json
@@ -53,6 +61,14 @@ from repro.core.workspace import Workspace, WorkspaceCacheMismatch
 from repro.lang.specjson import spec_from_json
 
 CACHE_FILENAME = "workspace.lyc"
+
+# Exit codes: 0 every property proved cleanly; 1 a property has a real
+# counterexample; 2 usage/config/cache errors; EXIT_DEGRADED when nothing
+# failed outright but the answer is weaker than asked — some checks came
+# back UNKNOWN (budget, deadline, wall budget) or execution degraded
+# (worker deaths, serial fallbacks).  Scripts must not read a degraded
+# run as a clean pass.
+EXIT_DEGRADED = 3
 
 
 def _load_config(path: str):
@@ -112,6 +128,19 @@ def _parse_jobs(value: str) -> int | str:
     return jobs
 
 
+def _parse_seconds(value: str) -> float:
+    """``--deadline``/``--wall-budget`` argument: a positive number of seconds."""
+    try:
+        seconds = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number of seconds, got {value!r}"
+        ) from None
+    if seconds <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive duration, got {value}")
+    return seconds
+
+
 def _resolve_backend(args: argparse.Namespace) -> tuple[int | str | None, str]:
     """Map the --jobs/--parallel flags to (parallel, backend), as verify does."""
     if args.jobs is not None:
@@ -136,20 +165,39 @@ def _cache_file(cache_dir: str | None) -> Path | None:
 
 
 def _open_workspace(
-    cache_path: Path | None, config, ghosts, parallel, backend, problems, budget
+    cache_path: Path | None,
+    config,
+    ghosts,
+    parallel,
+    backend,
+    problems,
+    budget,
+    deadline_s=None,
 ) -> tuple[Workspace, bool]:
     """A workspace for ``config``: loaded from the cache when one exists.
 
     A loadable cache must cover exactly this spec (same properties,
     invariants, and budget) — a stale or foreign cache raises
     :class:`WorkspaceCacheMismatch` rather than silently answering for
-    the wrong problem.
+    the wrong problem.  ``deadline_s`` is an execution parameter, not
+    part of the cache identity.
     """
     if cache_path is None or not cache_path.exists():
-        workspace = Workspace(config, ghosts=ghosts, parallel=parallel, backend=backend)
+        workspace = Workspace(
+            config,
+            ghosts=ghosts,
+            parallel=parallel,
+            backend=backend,
+            deadline_s=deadline_s,
+        )
         return workspace, False
     workspace = Workspace.load(
-        cache_path, config=config, ghosts=ghosts, parallel=parallel, backend=backend
+        cache_path,
+        config=config,
+        ghosts=ghosts,
+        parallel=parallel,
+        backend=backend,
+        deadline_s=deadline_s,
     )
     for prop, invariants, interference in problems:
         if not workspace.has_entry(
@@ -164,6 +212,21 @@ def _open_workspace(
                 f"without --cache"
             )
     return workspace, True
+
+
+def _reports_exit_code(reports) -> int:
+    """Map a run's reports to the exit-code contract in the module header.
+
+    A real counterexample dominates (1); otherwise any UNKNOWN outcome or
+    degraded execution demotes a "pass" to :data:`EXIT_DEGRADED`.
+    """
+    if any(report.failures for report in reports):
+        return 1
+    for report in reports:
+        degradation = getattr(report, "degradation", None)
+        if report.unknowns or (degradation is not None and degradation.degraded()):
+            return EXIT_DEGRADED
+    return 0
 
 
 def _consulted_line(result, label: str = "reverify") -> str:
@@ -187,11 +250,22 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     # built for the first property are reused by all later ones; with
     # --cache the outcome store additionally persists across invocations.
     workspace, loaded = _open_workspace(
-        cache_path, config, ghosts, parallel, backend, problems, args.budget
+        cache_path,
+        config,
+        ghosts,
+        parallel,
+        backend,
+        problems,
+        args.budget,
+        deadline_s=args.deadline,
     )
     if loaded:
         print(f"cache: loaded outcomes from {cache_path}")
-    all_passed = True
+    if args.wall_budget is not None:
+        # One budget for the whole invocation: pin a single absolute
+        # deadline so it spans every property, not each run separately.
+        workspace.set_run_deadline(time.monotonic() + args.wall_budget)
+    reports = []
     with workspace:
         for prop, invariants, interference in problems:
             report = workspace.verify(
@@ -210,7 +284,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 )
                 print(_consulted_line(entry.last_result, "cache"))
             print()
-            all_passed &= report.passed
+            reports.append(report)
         if cache_path is not None and not loaded:
             workspace.save(cache_path)
 
@@ -220,7 +294,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         f"constraints, {workspace.stats.wall_time_s:.2f}s "
         f"({workspace.stats.solve_time_s:.2f}s solving)"
     )
-    return 0 if all_passed else 1
+    return _reports_exit_code(reports)
 
 
 def _cmd_reverify(args: argparse.Namespace) -> int:
@@ -247,9 +321,19 @@ def _cmd_reverify(args: argparse.Namespace) -> int:
     # (or, cache-loaded, its persisted outcomes) are what the reverify
     # re-solves against.
     workspace, loaded = _open_workspace(
-        cache_path, base, ghosts, parallel, backend, problems, args.budget
+        cache_path,
+        base,
+        ghosts,
+        parallel,
+        backend,
+        problems,
+        args.budget,
+        deadline_s=args.deadline,
     )
-    all_passed = True
+    if args.wall_budget is not None:
+        # The budget covers the whole invocation (base run + reverify).
+        workspace.set_run_deadline(time.monotonic() + args.wall_budget)
+    reports = []
     with workspace:
         if loaded:
             print(f"cache: loaded base outcomes from {cache_path} (base run skipped)")
@@ -287,8 +371,8 @@ def _cmd_reverify(args: argparse.Namespace) -> int:
             print(format_report(result.report, verbose=args.verbose))
             print(_consulted_line(result))
             print()
-            all_passed &= result.report.passed
-    return 0 if all_passed else 1
+            reports.append(result.report)
+    return _reports_exit_code(reports)
 
 
 def _cmd_diff(args: argparse.Namespace) -> int:
@@ -339,6 +423,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--budget", type=int, default=None, help="per-check SAT conflict budget"
     )
     p_verify.add_argument(
+        "--deadline",
+        type=_parse_seconds,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock cap per check; a check that exceeds it is reported "
+        "UNKNOWN (deadline exceeded) instead of hanging the run",
+    )
+    p_verify.add_argument(
+        "--wall-budget",
+        type=_parse_seconds,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock cap for the whole invocation; once spent, remaining "
+        "checks are reported UNKNOWN (wall budget exhausted) and the partial "
+        "results are printed",
+    )
+    p_verify.add_argument(
         "--cache",
         metavar="DIR",
         default=None,
@@ -370,6 +471,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_rev.add_argument(
         "--budget", type=int, default=None, help="per-check SAT conflict budget"
+    )
+    p_rev.add_argument(
+        "--deadline",
+        type=_parse_seconds,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock cap per check; a check that exceeds it is reported "
+        "UNKNOWN (deadline exceeded) instead of hanging the run",
+    )
+    p_rev.add_argument(
+        "--wall-budget",
+        type=_parse_seconds,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock cap for the whole invocation (base run plus "
+        "reverify); once spent, remaining checks are reported UNKNOWN",
     )
     p_rev.add_argument(
         "--cache",

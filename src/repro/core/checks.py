@@ -19,6 +19,7 @@ so two edges running the same filter build their symbolic relation once.
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 
 from repro import smt
@@ -33,6 +34,7 @@ from repro.lang.symroute import SymbolicRoute
 from repro.lang.transfer import symbolic_originated, transfer_export, transfer_import
 from repro.lang.universe import AttributeUniverse
 from repro.smt.solver import SolverStats
+from repro.testing import faults
 
 
 class CheckKind(enum.Enum):
@@ -65,25 +67,37 @@ class LocalCheck:
         ghosts: tuple[GhostAttribute, ...] = (),
         conflict_budget: int | None = None,
         session: "smt.CheckSession | None" = None,
+        deadline_s: float | None = None,
     ) -> "CheckOutcome":
         """Discharge the check with the SMT solver.
 
         With ``session`` the query is solved under assumptions against the
         session's shared clause database instead of a fresh encoding; the
-        outcome is identical either way.
+        outcome is identical either way.  ``deadline_s`` is a wall-clock
+        budget in seconds for the whole check — multi-query checks
+        (originate) spread it across their discharges — after which the
+        outcome is UNKNOWN with ``unknown_reason == "timeout"``.
         """
+        # Pin the deadline once, up front, so encoding time and every
+        # discharge of a multi-query check draw from the same budget.
+        deadline_abs = None if deadline_s is None else time.monotonic() + deadline_s
+        faults.on_check_start(self, deadline_abs)
         if self.kind in (CheckKind.IMPORT, CheckKind.PROPAGATE_IMPORT):
             return self._run_filter(
-                config, universe, ghosts, transfer_import, conflict_budget, session
+                config, universe, ghosts, transfer_import, conflict_budget, session,
+                deadline_abs,
             )
         if self.kind in (CheckKind.EXPORT, CheckKind.PROPAGATE_EXPORT):
             return self._run_filter(
-                config, universe, ghosts, transfer_export, conflict_budget, session
+                config, universe, ghosts, transfer_export, conflict_budget, session,
+                deadline_abs,
             )
         if self.kind is CheckKind.ORIGINATE:
-            return self._run_originate(config, universe, ghosts, conflict_budget, session)
+            return self._run_originate(
+                config, universe, ghosts, conflict_budget, session, deadline_abs
+            )
         if self.kind is CheckKind.IMPLICATION:
-            return self._run_implication(universe, conflict_budget, session)
+            return self._run_implication(universe, conflict_budget, session, deadline_abs)
         raise AssertionError(f"unhandled check kind {self.kind}")
 
     # ------------------------------------------------------------------
@@ -93,16 +107,22 @@ class LocalCheck:
         assertions: list,
         conflict_budget: int | None,
         session: "smt.CheckSession | None",
+        deadline_abs: float | None = None,
     ) -> tuple["smt.Result", SolverStats, "smt.Model | None"]:
         """Decide a conjunction; returns (result, stats, model-if-SAT)."""
+        deadline_s = (
+            None if deadline_abs is None else deadline_abs - time.monotonic()
+        )
         if session is not None:
-            result = session.check(assertions, conflict_budget=conflict_budget)
+            result = session.check(
+                assertions, conflict_budget=conflict_budget, deadline_s=deadline_s
+            )
             model = session.model() if result is smt.Result.SAT else None
             return result, session.stats, model
         solver = smt.Solver()
         for assertion in assertions:
             solver.add(assertion)
-        result = solver.check(conflict_budget=conflict_budget)
+        result = solver.check(conflict_budget=conflict_budget, deadline_s=deadline_s)
         model = solver.model() if result is smt.Result.SAT else None
         return result, solver.stats, model
 
@@ -114,6 +134,7 @@ class LocalCheck:
         transfer,
         conflict_budget: int | None,
         session: "smt.CheckSession | None",
+        deadline_abs: float | None,
     ) -> "CheckOutcome":
         assert self.edge is not None
         route_in = SymbolicRoute.fresh("r", universe)
@@ -131,12 +152,20 @@ class LocalCheck:
             #   assumption(r) and accepted and not goal(r').
             assertions.append(accepted)
             assertions.append(smt.not_(predicate_term(self.goal, route_out)))
-        result, stats, model = self._discharge(assertions, conflict_budget, session)
+        result, stats, model = self._discharge(
+            assertions, conflict_budget, session, deadline_abs
+        )
 
         if result is smt.Result.UNSAT:
             return CheckOutcome(check=self, passed=True, stats=stats)
         if result is smt.Result.UNKNOWN:
-            return CheckOutcome(check=self, passed=False, stats=stats, unknown=True)
+            return CheckOutcome(
+                check=self,
+                passed=False,
+                stats=stats,
+                unknown=True,
+                unknown_reason=stats.unknown_reason,
+            )
         assert model is not None
         input_route = route_in.evaluate(model)
         rejected = not model.eval_bool(accepted)
@@ -156,16 +185,26 @@ class LocalCheck:
         ghosts: tuple[GhostAttribute, ...],
         conflict_budget: int | None,
         session: "smt.CheckSession | None",
+        deadline_abs: float | None,
     ) -> "CheckOutcome":
         assert self.edge is not None
         combined = SolverStats()
         for sym in symbolic_originated(config, self.edge, universe, ghosts):
             result, stats, model = self._discharge(
-                [smt.not_(predicate_term(self.goal, sym))], conflict_budget, session
+                [smt.not_(predicate_term(self.goal, sym))],
+                conflict_budget,
+                session,
+                deadline_abs,
             )
             combined = _merge_stats(combined, stats)
             if result is smt.Result.UNKNOWN:
-                return CheckOutcome(check=self, passed=False, stats=combined, unknown=True)
+                return CheckOutcome(
+                    check=self,
+                    passed=False,
+                    stats=combined,
+                    unknown=True,
+                    unknown_reason=stats.unknown_reason,
+                )
             if result is smt.Result.SAT:
                 assert model is not None
                 failure = CheckFailure(
@@ -184,6 +223,7 @@ class LocalCheck:
         universe: AttributeUniverse,
         conflict_budget: int | None,
         session: "smt.CheckSession | None",
+        deadline_abs: float | None,
     ) -> "CheckOutcome":
         route = SymbolicRoute.fresh("r", universe)
         assertions = [
@@ -191,11 +231,19 @@ class LocalCheck:
             predicate_term(self.assumption, route),
             smt.not_(predicate_term(self.goal, route)),
         ]
-        result, stats, model = self._discharge(assertions, conflict_budget, session)
+        result, stats, model = self._discharge(
+            assertions, conflict_budget, session, deadline_abs
+        )
         if result is smt.Result.UNSAT:
             return CheckOutcome(check=self, passed=True, stats=stats)
         if result is smt.Result.UNKNOWN:
-            return CheckOutcome(check=self, passed=False, stats=stats, unknown=True)
+            return CheckOutcome(
+                check=self,
+                passed=False,
+                stats=stats,
+                unknown=True,
+                unknown_reason=stats.unknown_reason,
+            )
         assert model is not None
         failure = CheckFailure(
             check=self,
@@ -218,6 +266,26 @@ class CheckOutcome:
     stats: SolverStats
     failure: CheckFailure | None = None
     unknown: bool = False
+    # Why the check is UNKNOWN: "conflicts" (conflict budget), "timeout"
+    # (per-check deadline), or "wall-budget" (the run's wall budget ran
+    # out before this check started).  None when the check was decided.
+    unknown_reason: str | None = None
+
+
+def skipped_outcome(check: LocalCheck, reason: str) -> CheckOutcome:
+    """An UNKNOWN outcome for a check that was never run.
+
+    Used when the run's wall budget expires with checks still queued: the
+    run completes with partial results, and each unexecuted check is
+    accounted for explicitly instead of silently missing from the report.
+    """
+    return CheckOutcome(
+        check=check,
+        passed=False,
+        stats=SolverStats(),
+        unknown=True,
+        unknown_reason=reason,
+    )
 
 
 def check_owner(check: LocalCheck) -> str | None:

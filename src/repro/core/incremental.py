@@ -55,6 +55,7 @@ from repro.core.checks import (
 )
 from repro.core.parallel import WorkerPool
 from repro.core.properties import InvariantMap, SafetyProperty
+from repro.core.report import DegradationReport
 from repro.core.safety import SafetyReport, build_universe, resolve_jobs, run_checks
 from repro.lang.ghost import GhostAttribute
 from repro.lang.universe import AttributeUniverse
@@ -141,16 +142,52 @@ class IncrementalSubstrate:
         conflict_budget: int | None,
         sessions: SessionPool | None,
         workers: "WorkerPool | Callable[[], WorkerPool | None] | None",
+        deadline_s: float | None = None,
+        wall_budget_s: float | None = None,
     ) -> None:
         self.parallel = parallel
         self.backend = backend
         self.conflict_budget = conflict_budget
+        self.deadline_s = deadline_s
+        self.wall_budget_s = wall_budget_s
+        # An absolute time.monotonic() deadline for the run in flight.
+        # Normally derived per run from ``wall_budget_s``; callers that
+        # want one budget to span several runs (the CLI spanning every
+        # spec property) pin it with :meth:`set_run_deadline`.
+        self._run_deadline: float | None = None
+        self._external_deadline = False
         self.sessions = sessions if sessions is not None else SessionPool()
         self._owns_sessions = sessions is None
         # ``workers`` lends an externally owned pool; the substrate then
         # never creates or closes worker processes itself.
         self._borrowed_workers = workers
         self._worker_pool: WorkerPool | None = None
+
+    def set_run_deadline(self, deadline: float | None) -> None:
+        """Pin an absolute ``time.monotonic()`` deadline across runs.
+
+        Until cleared (pass ``None``), every tracker run checks against
+        this single deadline instead of deriving a fresh one from
+        ``wall_budget_s`` — how one ``--wall-budget`` spans all the
+        properties of one CLI invocation.
+        """
+        self._run_deadline = deadline
+        self._external_deadline = deadline is not None
+
+    def _begin_run_deadline(self) -> float | None:
+        """The run deadline a tracker run should enforce, refreshed.
+
+        With an externally pinned deadline, that; otherwise a fresh
+        ``now + wall_budget_s`` per run (or ``None`` without a budget).
+        """
+        if self._external_deadline:
+            return self._run_deadline
+        self._run_deadline = (
+            None
+            if self.wall_budget_s is None
+            else time.monotonic() + self.wall_budget_s
+        )
+        return self._run_deadline
 
     def _workers(self) -> WorkerPool | None:
         if self._borrowed_workers is not None:
@@ -392,6 +429,7 @@ class SafetyTracker:
                 cached.extend(self._outcomes_by_owner[owner])
 
         substrate = self.substrate
+        degradation = DegradationReport()
         fresh = run_checks(
             to_run,
             config,
@@ -402,6 +440,9 @@ class SafetyTracker:
             backend=substrate.backend,
             sessions=substrate.sessions,
             workers=substrate._workers(),
+            deadline_s=substrate.deadline_s,
+            run_deadline=substrate._begin_run_deadline(),
+            degradation=degradation,
         )
         fresh_by_owner: dict[str | None, list[CheckOutcome]] = {}
         for check, outcome in zip(to_run, fresh):
@@ -415,6 +456,7 @@ class SafetyTracker:
             property=self.prop,
             outcomes=cached + fresh,
             wall_time_s=time.perf_counter() - start,
+            degradation=degradation,
         )
         return IncrementalResult(
             report=report,

@@ -53,6 +53,7 @@ from repro.core.liveness import (
 )
 from repro.core.parallel import WorkerPool
 from repro.core.properties import InvariantMap, LivenessProperty, SafetyProperty
+from repro.core.report import DegradationReport
 from repro.core.safety import SafetyReport, run_checks
 from repro.lang.ghost import GhostAttribute
 from repro.lang.universe import AttributeUniverse
@@ -302,6 +303,7 @@ class LivenessTracker:
                     slots.extend((_SUB, router, owner) for __ in group)
 
         substrate = self.substrate
+        degradation = DegradationReport()
         fresh = run_checks(
             to_run,
             config,
@@ -312,6 +314,9 @@ class LivenessTracker:
             backend=substrate.backend,
             sessions=substrate.sessions,
             workers=substrate._workers(),
+            deadline_s=substrate.deadline_s,
+            run_deadline=substrate._begin_run_deadline(),
+            degradation=degradation,
         )
 
         # Scatter fresh outcomes back into the owner indexes.
@@ -355,6 +360,7 @@ class LivenessTracker:
                 for router, groups in self._sub_groups.items()
             },
             wall_time_s=time.perf_counter() - start,
+            degradation=degradation,
         )
         total = len(report.propagation_outcomes) + 1 + sum(
             r.num_checks for r in report.interference_reports.values()

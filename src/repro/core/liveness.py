@@ -56,7 +56,7 @@ from repro.core.checks import (
 )
 from repro.core.parallel import WorkerPool
 from repro.core.properties import InvariantMap, LivenessProperty, SafetyProperty
-from repro.core.report import VerificationReport
+from repro.core.report import DegradationReport, VerificationReport
 from repro.core.safety import (
     SafetyReport,
     build_universe,
@@ -84,6 +84,7 @@ class LivenessReport(VerificationReport):
     implication_outcome: CheckOutcome
     interference_reports: dict[str, SafetyReport]
     wall_time_s: float
+    degradation: DegradationReport | None = None
 
     def iter_outcomes(self):
         yield from self.propagation_outcomes
@@ -318,6 +319,8 @@ def verify_liveness(
     universe: AttributeUniverse | None = None,
     sessions: SessionPool | None = None,
     workers: WorkerPool | None = None,
+    deadline_s: float | None = None,
+    wall_budget_s: float | None = None,
 ) -> LivenessReport:
     """Verify a liveness property (the §5 pipeline).
 
@@ -336,6 +339,13 @@ def verify_liveness(
     """
     start = time.perf_counter()
     prop.validate_against(config.topology)
+    # One wall budget and one degradation collector span the whole
+    # pipeline: propagation, implication, and every sub-proof draw down
+    # the same deadline and report into the same collector.
+    run_deadline = (
+        None if wall_budget_s is None else time.monotonic() + wall_budget_s
+    )
+    degradation = DegradationReport()
 
     if universe is None:
         universe = liveness_universe(config, prop, interference_invariants, ghosts)
@@ -346,12 +356,14 @@ def verify_liveness(
         checks.propagation, config, universe, ghosts, parallel=parallel,
         conflict_budget=conflict_budget, backend=backend,
         sessions=pool, workers=workers,
+        deadline_s=deadline_s, run_deadline=run_deadline, degradation=degradation,
     )
 
     implication_outcome = run_checks(
         [checks.implication], config, universe, ghosts, parallel=parallel,
         conflict_budget=conflict_budget, backend=backend,
         sessions=pool, workers=workers,
+        deadline_s=deadline_s, run_deadline=run_deadline, degradation=degradation,
     )[0]
 
     interference_reports: dict[str, SafetyReport] = {}
@@ -367,6 +379,9 @@ def verify_liveness(
             backend=backend,
             sessions=pool,
             workers=workers,
+            deadline_s=deadline_s,
+            run_deadline=run_deadline,
+            degradation=degradation,
         )
         interference_reports[router] = SafetyReport(
             property=safety_prop,
@@ -380,4 +395,5 @@ def verify_liveness(
         implication_outcome=implication_outcome,
         interference_reports=interference_reports,
         wall_time_s=time.perf_counter() - start,
+        degradation=degradation,
     )

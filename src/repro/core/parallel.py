@@ -32,21 +32,30 @@ Two execution models share that chunking:
 Process pools are not universally available (sandboxes without semaphores,
 restricted spawn semantics); both models degrade gracefully — ``None`` is
 returned and the caller falls back to the serial session path, which
-computes identical outcomes.
+computes identical outcomes.  A ``WorkerPool`` additionally *recovers*
+from individual worker deaths mid-run: the dead worker is respawned into
+its slot, only the chunks whose replies never arrived are re-dispatched,
+and a chunk that kills its worker twice is quarantined to in-parent
+serial execution — completed work is never thrown away, and one poison
+check cannot sink the pool.  Every degradation (serial fallback, respawn,
+redispatch, quarantine) is counted in ``stats()``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import TYPE_CHECKING, Sequence
 
-from repro.core.checks import check_owner
+from repro.core.checks import check_owner, skipped_outcome
 from repro.lang.transfer import set_transfer_cache_enabled, transfer_cache_enabled
 from repro.smt.solver import CheckSession, SessionPool
+from repro.testing import faults
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.bgp.config import NetworkConfig
@@ -66,9 +75,10 @@ def _init_worker(
     ghosts: tuple["GhostAttribute", ...],
     conflict_budget: int | None,
     cache_enabled: bool = True,
+    deadline_s: float | None = None,
 ) -> None:
     global _WORKER_CONTEXT
-    _WORKER_CONTEXT = (config, universe, ghosts, conflict_budget)
+    _WORKER_CONTEXT = (config, universe, ghosts, conflict_budget, deadline_s)
     # Mirror the parent's transfer-memoisation switch: workers rebuild
     # their own caches from the shipped config/universe (term graphs don't
     # pickle usefully), but a cache-off differential run must stay cache-off
@@ -81,10 +91,16 @@ def _run_chunk(
 ) -> list[tuple[int, "CheckOutcome"]]:
     """Discharge one owner's checks in this worker, sharing one session."""
     assert _WORKER_CONTEXT is not None, "worker initializer did not run"
-    config, universe, ghosts, conflict_budget = _WORKER_CONTEXT
+    config, universe, ghosts, conflict_budget, deadline_s = _WORKER_CONTEXT
     session = CheckSession()
     return [
-        (index, check.run(config, universe, ghosts, conflict_budget, session=session))
+        (
+            index,
+            check.run(
+                config, universe, ghosts, conflict_budget,
+                session=session, deadline_s=deadline_s,
+            ),
+        )
         for index, check in indexed_checks
     ]
 
@@ -106,13 +122,15 @@ def run_checks_in_processes(
     ghosts: tuple["GhostAttribute", ...],
     conflict_budget: int | None,
     jobs: int,
+    deadline_s: float | None = None,
 ) -> "list[CheckOutcome] | None":
     """Run checks on a process pool; None if no pool could be used.
 
     Results come back in input order.  Failures of the *pool machinery*
     (no semaphore support, broken workers, unpicklable payloads) degrade to
     ``None`` so the caller can rerun serially; genuine exceptions raised by
-    a check itself still propagate.
+    a check itself still propagate.  ``deadline_s`` is a per-check
+    wall-clock budget applied inside the workers.
     """
     chunks = chunk_by_owner(checks)
     if not chunks:
@@ -121,7 +139,10 @@ def run_checks_in_processes(
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(chunks)),
             initializer=_init_worker,
-            initargs=(config, universe, ghosts, conflict_budget, transfer_cache_enabled()),
+            initargs=(
+                config, universe, ghosts, conflict_budget,
+                transfer_cache_enabled(), deadline_s,
+            ),
         ) as pool:
             outcomes: list["CheckOutcome | None"] = [None] * len(checks)
             for pairs in pool.map(_run_chunk, chunks):
@@ -137,14 +158,28 @@ def run_checks_in_processes(
 # ---------------------------------------------------------------------------
 
 
-def _persistent_worker_main(task_queue, result_queue) -> None:
+def _persistent_worker_main(
+    task_queue, result_queue, worker_index: int = 0, fault_plan=None
+) -> None:
     """The loop a persistent worker runs for its whole life.
 
     Contexts arrive once per (worker, problem) and are cached by token;
     sessions are drawn from one owner-keyed pool that is never discarded,
     so a chunk for an owner this worker has seen before re-solves against
     the clause database the earlier chunk built.
+
+    ``fault_plan`` is this worker's slice of the parent's fault-injection
+    plan (see :mod:`repro.testing.faults`): the kill fault crashes the
+    process with ``os._exit`` on receipt of its Nth chunk, *before*
+    replying, and check-level faults are installed process-wide so the
+    hook inside ``LocalCheck.run`` sees them.  The parent ships the slice
+    explicitly (rather than letting the child re-read the environment) so
+    a respawned worker can be handed a plan with the kill already
+    consumed — that is what makes kill-N-times scenarios terminate.
     """
+    faults.install(fault_plan)
+    kill_after = None if fault_plan is None else fault_plan.kill_worker_after_chunks
+    chunks_received = 0
     contexts: dict[int, tuple] = {}
     sessions = SessionPool()
     while True:
@@ -162,7 +197,11 @@ def _persistent_worker_main(task_queue, result_queue) -> None:
         if kind == "drop":
             contexts.pop(message[1], None)
             continue
-        __, run_id, chunk_index, token, indexed_checks = message
+        __, run_id, chunk_index, token, indexed_checks, deadline_s, run_deadline = message
+        chunks_received += 1
+        if kill_after is not None and chunks_received >= kill_after:
+            # Simulated hard crash: no reply, no cleanup, no exit handlers.
+            os._exit(1)
         try:
             config, universe, ghosts, conflict_budget, cache_enabled = contexts[token]
             # Re-apply per chunk, not just at context arrival: chunks for an
@@ -172,10 +211,26 @@ def _persistent_worker_main(task_queue, result_queue) -> None:
             session = sessions.get(owner)
             vars_before = session.total_vars
             clauses_before = session.total_clauses
-            pairs = [
-                (index, check.run(config, universe, ghosts, conflict_budget, session=session))
-                for index, check in indexed_checks
-            ]
+            pairs = []
+            for index, check in indexed_checks:
+                # Effective per-check deadline: the tighter of the check
+                # budget and what is left of the run's wall budget
+                # (``run_deadline`` is absolute CLOCK_MONOTONIC, which is
+                # system-wide on Linux, so the parent's timestamp is
+                # directly comparable here).
+                effective = deadline_s
+                if run_deadline is not None:
+                    remaining = run_deadline - time.monotonic()
+                    effective = remaining if effective is None else min(effective, remaining)
+                pairs.append(
+                    (
+                        index,
+                        check.run(
+                            config, universe, ghosts, conflict_budget,
+                            session=session, deadline_s=effective,
+                        ),
+                    )
+                )
             grew = (
                 session.total_vars - vars_before,
                 session.total_clauses - clauses_before,
@@ -219,10 +274,27 @@ class WorkerPool:
       encoding (``last_encoding_growth`` is the witness).
 
     ``run`` returns outcomes in input order, or ``None`` when the pool
-    machinery is unavailable or broke (no semaphore support, dead workers,
+    machinery is unavailable or broke beyond repair (no semaphore support,
     unpicklable payloads) — the caller then falls back to the serial path,
     which computes identical outcomes.  Genuine exceptions raised by a
     check itself still propagate.
+
+    A worker *death* mid-run is recovered, not abandoned: the parent
+    quiesces dispatch, respawns the dead process into the same slot
+    (bounded retries with backoff; owner pinning stays valid), and
+    re-dispatches only the chunks whose replies never arrived — completed
+    outcomes are kept.  The first still-pending chunk in the dead worker's
+    dispatch order is blamed for the crash; an owner blamed twice is
+    quarantined and its checks run serially in the parent from then on, so
+    a reproducibly poisonous check cannot crash-loop the pool.  All of it
+    is observable: ``worker_respawns``, ``chunks_redispatched``,
+    ``checks_quarantined``, ``serial_fallbacks`` and
+    ``last_fallback_reason`` appear in ``stats()``.
+
+    ``run`` also takes wall-clock bounds: ``deadline_s`` caps each check's
+    solve, and ``run_deadline`` (absolute ``time.monotonic()``) caps the
+    whole call — on expiry the still-unfinished checks resolve to UNKNOWN
+    with reason ``wall-budget`` and the run returns partial results.
     """
 
     def __init__(self, jobs: int, max_contexts: int = 8) -> None:
@@ -249,26 +321,45 @@ class WorkerPool:
         self._run_counter = 0
         self._broken = False
         self._closed = False
+        # Fault-recovery state.  Blame counts and quarantined owners are
+        # pool-lifetime: an owner that crashed two workers stays serial.
+        self._kill_blame: dict[object, int] = {}
+        self._quarantined: set[object] = set()
+        self._retired: set[int] = set()  # worker slots given up on
+        self._parent_sessions: SessionPool | None = None  # for quarantined checks
+        self._fault_plan = None  # injected FaultPlan, if any (testing)
         # Reuse telemetry (tests and benchmarks read these).
         self.contexts_shipped = 0
         self.chunks_run = 0
         self.last_encoding_growth: dict[object, tuple[int, int]] = {}
+        # Degradation telemetry (see stats()).
+        self.worker_respawns = 0
+        self.chunks_redispatched = 0
+        self.checks_quarantined = 0
+        self.serial_fallbacks = 0
+        self.last_fallback_reason: str | None = None
 
     # -- lifecycle -----------------------------------------------------
 
     def _start(self) -> bool:
-        if self._workers:
-            return True
         if self._broken or self._closed:
             return False
+        if self._workers:
+            return True
+        self._fault_plan = faults.active_plan()
         try:
             ctx = multiprocessing.get_context()
             self._results = ctx.SimpleQueue()
-            for __ in range(self.jobs):
+            for index in range(self.jobs):
                 task_queue = ctx.SimpleQueue()
+                plan = (
+                    None
+                    if self._fault_plan is None
+                    else self._fault_plan.worker_faults(index)
+                )
                 process = ctx.Process(
                     target=_persistent_worker_main,
-                    args=(task_queue, self._results),
+                    args=(task_queue, self._results, index, plan),
                     daemon=True,
                 )
                 process.start()
@@ -279,20 +370,40 @@ class WorkerPool:
             return False
         return True
 
+    @staticmethod
+    def _reap(process, grace: float = 1.0) -> None:
+        """terminate → kill escalation so no error path leaks a child."""
+        try:
+            process.terminate()
+            process.join(timeout=grace)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=grace)
+        except (OSError, ValueError):
+            pass
+
     def _abandon(self) -> None:
         """Tear the pool down after a machinery failure; callers go serial."""
         for process, __ in self._workers:
-            try:
-                process.terminate()
-            except (OSError, ValueError):
-                pass
+            self._reap(process)
         self._workers = []
         self._shipped = []
         self._results = None
         self._broken = True
 
+    def _fallback(self, reason: str) -> None:
+        """Record an impending serial fallback; returned as run()'s None."""
+        self.serial_fallbacks += 1
+        self.last_fallback_reason = reason
+        return None
+
     def close(self) -> None:
-        """Stop the workers gracefully.  The pool cannot be restarted."""
+        """Stop the workers gracefully.  The pool cannot be restarted.
+
+        A worker that ignores its stop message (wedged in a solve, or a
+        zombie from an injected crash) is terminated and, failing that,
+        killed — close() never leaks a child process.
+        """
         for __, task_queue in self._workers:
             try:
                 task_queue.put(("stop",))
@@ -301,7 +412,7 @@ class WorkerPool:
         for process, __ in self._workers:
             process.join(timeout=5)
             if process.is_alive():
-                process.terminate()
+                self._reap(process)
         self._workers = []
         self._shipped = []
         self._results = None
@@ -312,6 +423,127 @@ class WorkerPool:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # -- fault recovery ------------------------------------------------
+
+    _RESPAWN_ATTEMPTS = 3
+    _MAX_RESPAWNS_PER_WORKER_PER_RUN = 3
+
+    def _respawn(self, worker_index: int) -> bool:
+        """Start a fresh worker in a dead worker's slot.
+
+        The slot keeps its owner assignments (pinning maps index, not
+        process identity), but its context cache died with the process, so
+        ``_shipped`` is cleared and the next dispatch re-ships the context.
+        Spawn failures retry with backoff; False means the slot is lost.
+        """
+        ctx = multiprocessing.get_context()
+        plan = (
+            None
+            if self._fault_plan is None
+            else self._fault_plan.worker_faults(worker_index)
+        )
+        for attempt in range(1, self._RESPAWN_ATTEMPTS + 1):
+            try:
+                task_queue = ctx.SimpleQueue()
+                process = ctx.Process(
+                    target=_persistent_worker_main,
+                    args=(task_queue, self._results, worker_index, plan),
+                    daemon=True,
+                )
+                process.start()
+            except (OSError, ImportError, ValueError):
+                time.sleep(0.05 * attempt)
+                continue
+            self._workers[worker_index][0].join(timeout=1)  # reap the corpse
+            self._workers[worker_index] = (process, task_queue)
+            self._shipped[worker_index] = set()
+            self.worker_respawns += 1
+            return True
+        return False
+
+    def _drain_task_queue(self, worker_index: int) -> None:
+        """Throw away a dead worker's queued messages.
+
+        The parent holds both ends of every task pipe, so this cannot
+        raise EPIPE — and it is what unblocks a dispatcher thread stuck
+        writing a large payload into the dead worker's full pipe.  The
+        drained chunks are exactly the "lost" ones recovery re-dispatches.
+        """
+        try:
+            reader = self._workers[worker_index][1]._reader
+            while reader.poll():
+                reader.recv_bytes()
+        except (OSError, EOFError, ValueError, IndexError):
+            pass
+
+    def _drain_results(self, buffered: list) -> None:
+        """Move any queued replies into ``buffered`` without blocking."""
+        try:
+            while self._results._reader.poll():
+                buffered.append(self._results.get())
+        except (OSError, EOFError, AttributeError):
+            pass
+
+    def _quiesce(self, dispatchers: list, buffered: list, timeout: float = 10.0) -> bool:
+        """Wait for every dispatcher thread to finish, keeping pipes moving.
+
+        A dispatcher can be blocked on a dead worker's full task pipe, or
+        on an alive worker that is itself blocked writing a reply; drain
+        both directions until the threads run out of work.  Returns False
+        on timeout (the pool is then unusable and must be abandoned).
+        """
+        deadline = time.monotonic() + timeout
+        while any(thread.is_alive() for thread in dispatchers):
+            for worker_index, (process, __) in enumerate(self._workers):
+                if not process.is_alive():
+                    self._drain_task_queue(worker_index)
+            self._drain_results(buffered)
+            for thread in dispatchers:
+                thread.join(timeout=0.05)
+            if time.monotonic() > deadline:
+                return False
+        return True
+
+    def _run_chunks_serially(
+        self,
+        chunk_indices,
+        chunks,
+        outcomes,
+        pending,
+        config,
+        universe,
+        ghosts,
+        conflict_budget,
+        deadline_s,
+        run_deadline,
+    ) -> None:
+        """Discharge chunks in-parent (quarantined owners, lost causes).
+
+        Sessions come from a parent-side owner-keyed pool that persists
+        across runs, so quarantined owners keep their encoding reuse; the
+        run's wall budget still applies, and genuine check exceptions
+        propagate exactly as they do on the worker path.
+        """
+        if self._parent_sessions is None:
+            self._parent_sessions = SessionPool()
+        for chunk_index in chunk_indices:
+            for index, check in chunks[chunk_index]:
+                if outcomes[index] is not None:
+                    continue
+                if run_deadline is not None and time.monotonic() >= run_deadline:
+                    outcomes[index] = skipped_outcome(check, "wall-budget")
+                    continue
+                effective = deadline_s
+                if run_deadline is not None:
+                    remaining = run_deadline - time.monotonic()
+                    effective = remaining if effective is None else min(effective, remaining)
+                session = self._parent_sessions.get(check_owner(check))
+                outcomes[index] = check.run(
+                    config, universe, ghosts, conflict_budget,
+                    session=session, deadline_s=effective,
+                )
+            pending.discard(chunk_index)
 
     # -- dispatch ------------------------------------------------------
 
@@ -430,6 +662,12 @@ class WorkerPool:
             "imbalance": (max(loads) / mean_load) if mean_load else 1.0,
             "contexts_shipped": self.contexts_shipped,
             "chunks_run": self.chunks_run,
+            "serial_fallbacks": self.serial_fallbacks,
+            "last_fallback_reason": self.last_fallback_reason,
+            "worker_respawns": self.worker_respawns,
+            "chunks_redispatched": self.chunks_redispatched,
+            "checks_quarantined": self.checks_quarantined,
+            "quarantined_owners": sorted(self._quarantined, key=str),
         }
 
     def run(
@@ -439,13 +677,23 @@ class WorkerPool:
         universe: "AttributeUniverse",
         ghosts: tuple["GhostAttribute", ...] = (),
         conflict_budget: int | None = None,
+        deadline_s: float | None = None,
+        run_deadline: float | None = None,
     ) -> "list[CheckOutcome] | None":
-        """Run checks on the persistent workers; None if the pool is unusable."""
+        """Run checks on the persistent workers; None if the pool is unusable.
+
+        ``deadline_s`` bounds each check's solve in wall-clock seconds;
+        ``run_deadline`` (absolute ``time.monotonic()``) bounds the whole
+        call — on expiry, still-unfinished checks resolve to UNKNOWN with
+        reason ``wall-budget`` and partial results are returned.  Worker
+        deaths are recovered chunk-granularly (see the class docstring);
+        only unrecoverable machinery failures return ``None``.
+        """
         chunks = chunk_by_owner(checks)
         if not chunks:
             return []
         if not self._start():
-            return None
+            return self._fallback("worker pool unavailable (broken, closed, or failed to start)")
         fingerprint = self._fingerprint(config, universe, ghosts, conflict_budget)
         token = self._tokens.get(fingerprint)
         if token is None:
@@ -464,82 +712,235 @@ class WorkerPool:
         self._run_counter += 1
         run_id = self._run_counter
         # Pin owners to workers up front (size-aware, largest-first) so the
-        # dispatcher thread below only reads the assignment map.
+        # dispatcher threads below only read the assignment map.
         self._assign_owners(chunks, len(self._workers))
 
-        # Dispatch from a side thread while this thread drains results —
+        pending = set(range(len(chunks)))
+        outcomes: list["CheckOutcome | None"] = [None] * len(checks)
+        growth: dict[object, tuple[int, int]] = {}
+
+        # Owners quarantined by earlier crashes never reach a worker again:
+        # their chunks are partitioned out up front and run in-parent
+        # (below, after dispatch starts, so workers chew in parallel).
+        quarantined_now = [
+            chunk_index
+            for chunk_index in sorted(pending)
+            if check_owner(chunks[chunk_index][0][1]) in self._quarantined
+        ]
+        pending -= set(quarantined_now)
+        to_dispatch = [ci for ci in range(len(chunks)) if ci in pending]
+
+        # Dispatch from side threads while this thread drains results —
         # the same decoupling ProcessPoolExecutor's feeder threads provide.
         # Blocking puts must never share a thread with the result drain: a
         # worker blocked writing a reply into a full results pipe stops
         # reading its task queue, and a parent blocked writing into that
         # task queue would then never drain the replies — a deadlock on
         # counterexample-heavy runs.
-        dispatch_error: list[BaseException] = []
-        # Local refs: _abandon may reassign self._workers/_shipped while the
-        # dispatcher is still draining its loop; puts to a terminated
-        # worker's queue then fail into the except below, harmlessly.
-        workers = self._workers
-        shipped = self._shipped
+        dispatched: dict[int, int] = {}  # chunk_index -> worker_index
+        dispatch_seq: dict[int, list[int]] = {}  # worker -> chunks, send order
+        dispatch_errors: list[BaseException] = []
+        dispatchers: list[threading.Thread] = []
+        respawns_this_run: dict[int, int] = {}
+        buffered: list[tuple] = []  # replies drained while quiescing
 
-        def _dispatch() -> None:
-            try:
-                for chunk_index, chunk in enumerate(chunks):
-                    owner = check_owner(chunk[0][1])
-                    worker_index = self._owner_assignment[owner]
-                    __, task_queue = workers[worker_index]
-                    if token not in shipped[worker_index]:
-                        # SimpleQueue.put serialises synchronously, so an
-                        # unpicklable payload surfaces here, observable.
-                        task_queue.put(("context", token, payload))
-                        shipped[worker_index].add(token)
-                        self.contexts_shipped += 1
-                    task_queue.put(("chunk", run_id, chunk_index, token, chunk))
-            except (OSError, ValueError, pickle.PicklingError, AttributeError,
-                    TypeError) as exc:
-                dispatch_error.append(exc)
+        def _ship(chunk_indices: list[int]) -> None:
+            def _dispatch() -> None:
+                try:
+                    for chunk_index in chunk_indices:
+                        chunk = chunks[chunk_index]
+                        owner = check_owner(chunk[0][1])
+                        worker_index = self._owner_assignment[owner]
+                        __, task_queue = self._workers[worker_index]
+                        if token not in self._shipped[worker_index]:
+                            # SimpleQueue.put serialises synchronously, so an
+                            # unpicklable payload surfaces here, observable.
+                            task_queue.put(("context", token, payload))
+                            self._shipped[worker_index].add(token)
+                            self.contexts_shipped += 1
+                        task_queue.put(
+                            ("chunk", run_id, chunk_index, token, chunk,
+                             deadline_s, run_deadline)
+                        )
+                        dispatch_seq.setdefault(worker_index, []).append(chunk_index)
+                        dispatched[chunk_index] = worker_index
+                except (OSError, ValueError, pickle.PicklingError, AttributeError,
+                        TypeError, IndexError) as exc:
+                    dispatch_errors.append(exc)
 
-        dispatcher = threading.Thread(target=_dispatch, daemon=True)
-        dispatcher.start()
+            thread = threading.Thread(target=_dispatch, daemon=True)
+            thread.start()
+            dispatchers.append(thread)
 
-        pending = set(range(len(chunks)))
-        outcomes: list["CheckOutcome | None"] = [None] * len(checks)
-        growth: dict[object, tuple[int, int]] = {}
-        reader = self._results._reader  # Connection: the only timeout-capable probe
-        while pending:
-            try:
-                if not reader.poll(0.1):
-                    if dispatch_error and not dispatcher.is_alive():
-                        # Some chunks were never sent; their replies will
-                        # never come.  Fall back to the serial path.
-                        self._abandon()
-                        return None
-                    if any(not process.is_alive() for process, __ in self._workers):
-                        self._abandon()
-                        return None
-                    continue
-                reply = self._results.get()
-            except (OSError, EOFError):
-                self._abandon()
-                return None
+        _ship(to_dispatch)
+        if quarantined_now:
+            self.checks_quarantined += sum(len(chunks[ci]) for ci in quarantined_now)
+            self._run_chunks_serially(
+                quarantined_now, chunks, outcomes, pending,
+                config, universe, ghosts, conflict_budget, deadline_s, run_deadline,
+            )
+
+        def _apply_reply(reply) -> "tuple[str, BaseException | None] | None":
+            """Fold one worker reply into the run state.
+
+            Returns None normally, or a terminal condition: ("machinery",
+            None) for an unserialisable reply, ("error", exc) for a genuine
+            check exception.
+            """
             if reply[0] != run_id:
-                continue  # stale reply from an earlier, errored run
+                return None  # stale reply from an earlier run
             __, chunk_index, status, *rest = reply
+            if chunk_index not in pending:
+                return None  # duplicate (chunk already recovered elsewhere)
             if status == "machinery":
-                # An unserialisable reply: pool machinery, not the check.
-                self._abandon()
-                return None
+                return ("machinery", None)
             if status == "error":
-                # Quiesce the dispatcher (workers keep consuming, so this
-                # converges) before handing the check's exception up.
-                dispatcher.join(timeout=5)
-                raise rest[0]
+                return ("error", rest[0])
             owner, pairs, grew = rest
             for index, outcome in pairs:
                 outcomes[index] = outcome
             old = growth.get(owner, (0, 0))
             growth[owner] = (old[0] + grew[0], old[1] + grew[1])
             pending.discard(chunk_index)
-        dispatcher.join()
+            return None
+
+        def _recover(dead: list[int]) -> "tuple[str, BaseException | None] | None":
+            """Chunk-granular recovery from one or more worker deaths."""
+            # 1. Quiesce dispatch.  Dispatcher threads can be blocked on a
+            # dead worker's full pipe; draining it (and the results pipe)
+            # lets them run to completion, after which the dispatch maps
+            # are stable and respawning cannot race a concurrent put.
+            if not self._quiesce(dispatchers, buffered):
+                self._abandon()
+                return ("machinery", None)
+            for worker_index in dead:
+                self._drain_task_queue(worker_index)
+            self._drain_results(buffered)
+            # 2. Fold in every reply that did arrive, so ``pending`` is
+            # exactly the set of chunks whose results are genuinely lost.
+            while buffered:
+                terminal = _apply_reply(buffered.pop(0))
+                if terminal is not None:
+                    return terminal
+            # 3. Per dead worker: blame, respawn, collect lost chunks.
+            lost_all: list[int] = []
+            serial_now: list[int] = []
+            for worker_index in dead:
+                lost = [
+                    ci for ci in dispatch_seq.get(worker_index, [])
+                    if ci in pending
+                ]
+                if lost:
+                    # The first unanswered chunk in send order is the one
+                    # the worker was holding when it died.
+                    culprit = check_owner(chunks[lost[0]][0][1])
+                    self._kill_blame[culprit] = self._kill_blame.get(culprit, 0) + 1
+                    if self._kill_blame[culprit] >= 2:
+                        self._quarantined.add(culprit)
+                if (
+                    self._fault_plan is not None
+                    and self._fault_plan.kill_worker_after_chunks is not None
+                    and self._fault_plan.kill_worker_index == worker_index
+                ):
+                    # The injected crash fired; the respawned worker gets a
+                    # plan with one fewer firing, so kill-N-times scenarios
+                    # terminate deterministically.
+                    self._fault_plan = self._fault_plan.consume_kill()
+                respawns_this_run[worker_index] = (
+                    respawns_this_run.get(worker_index, 0) + 1
+                )
+                gave_up = (
+                    respawns_this_run[worker_index]
+                    > self._MAX_RESPAWNS_PER_WORKER_PER_RUN
+                    or not self._respawn(worker_index)
+                )
+                if gave_up:
+                    # The slot is unrecoverable: finish its lost chunks
+                    # in-parent and refuse to start future runs.
+                    self._retired.add(worker_index)
+                    self._broken = True
+                    self.last_fallback_reason = (
+                        f"worker {worker_index} unrecoverable after "
+                        f"{respawns_this_run[worker_index] - 1} respawns"
+                    )
+                    serial_now.extend(lost)
+                else:
+                    lost_all.extend(lost)
+            # 4. Lost chunks: quarantined owners go serial, the rest are
+            # re-dispatched to their (respawned) workers — and only they
+            # are, which is the chunk-granular part.
+            redispatch: list[int] = []
+            for chunk_index in lost_all:
+                owner = check_owner(chunks[chunk_index][0][1])
+                if owner in self._quarantined:
+                    serial_now.append(chunk_index)
+                else:
+                    redispatch.append(chunk_index)
+            if serial_now:
+                serial_now = sorted(set(serial_now))
+                self.checks_quarantined += sum(len(chunks[ci]) for ci in serial_now)
+                self._run_chunks_serially(
+                    serial_now, chunks, outcomes, pending,
+                    config, universe, ghosts, conflict_budget,
+                    deadline_s, run_deadline,
+                )
+            if redispatch:
+                redispatch.sort()
+                self.chunks_redispatched += len(redispatch)
+                _ship(redispatch)
+            return None
+
+        reader = self._results._reader  # Connection: the only timeout-capable probe
+        terminal: "tuple[str, BaseException | None] | None" = None
+        while pending and terminal is None:
+            if run_deadline is not None and time.monotonic() >= run_deadline:
+                # Wall budget exhausted: account for every unfinished check
+                # explicitly and complete with partial results.  Workers may
+                # still reply to this run's chunks; those replies carry this
+                # run_id but arrive after we stop listening and are filtered
+                # as stale by the next run.
+                for chunk_index in sorted(pending):
+                    for index, check in chunks[chunk_index]:
+                        if outcomes[index] is None:
+                            outcomes[index] = skipped_outcome(check, "wall-budget")
+                pending.clear()
+                break
+            try:
+                if not reader.poll(0.1):
+                    if dispatch_errors and not any(t.is_alive() for t in dispatchers):
+                        # Some chunks were never sent; their replies will
+                        # never come.  Fall back to the serial path.
+                        self._abandon()
+                        return self._fallback(
+                            f"dispatch failed: {dispatch_errors[0]!r}"
+                        )
+                    dead = [
+                        worker_index
+                        for worker_index, (process, __) in enumerate(self._workers)
+                        if worker_index not in self._retired
+                        and not process.is_alive()
+                    ]
+                    if dead:
+                        terminal = _recover(dead)
+                    continue
+                terminal = _apply_reply(self._results.get())
+            except (OSError, EOFError) as exc:
+                self._abandon()
+                return self._fallback(f"results channel failed: {exc!r}")
+        if terminal is not None:
+            kind, exc = terminal
+            if kind == "error":
+                # Quiesce dispatch (workers keep consuming, so this
+                # converges) before handing the check's exception up.
+                if not self._quiesce(dispatchers, buffered):
+                    self._abandon()
+                raise exc
+            # An unserialisable reply: pool machinery, not the check.
+            self._abandon()
+            return self._fallback("worker reply failed to serialise")
+        if not self._quiesce(dispatchers, buffered):
+            self._abandon()
+            return self._fallback("dispatcher failed to quiesce")
         self.chunks_run += len(chunks)
         self.last_encoding_growth = growth
         return outcomes  # type: ignore[return-value]

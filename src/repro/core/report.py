@@ -17,11 +17,92 @@ as aliases.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.core.checks import CheckOutcome
     from repro.core.counterexample import CheckFailure
+
+
+# Human-readable text for CheckOutcome.unknown_reason values.  The absent /
+# None case covers outcomes produced before reasons existed (old caches).
+_UNKNOWN_LABELS = {
+    "conflicts": "conflict budget exhausted",
+    "timeout": "deadline exceeded",
+    "wall-budget": "wall budget exhausted",
+}
+
+
+def unknown_label(outcome) -> str:
+    """Why an outcome is UNKNOWN, as display text."""
+    reason = getattr(outcome, "unknown_reason", None)
+    return _UNKNOWN_LABELS.get(reason, "budget exhausted")
+
+
+@dataclass
+class DegradationReport:
+    """How far a run strayed from clean parallel execution.
+
+    Verification that silently degrades — a worker pool quietly replaced
+    by a serial rerun, a crashed worker's chunks re-run who knows where —
+    is verification nobody can trust under load.  Every recovery mechanism
+    in the execution layer therefore reports here: the collector is
+    threaded through ``run_checks`` and attached to the resulting report,
+    and :func:`format_report` renders a "degraded execution" section
+    whenever anything is non-zero.  Timeout/wall-budget unknowns are *not*
+    duplicated here; they live on the outcomes themselves
+    (``CheckOutcome.unknown_reason``) and are counted by
+    :meth:`VerificationReport.unknown_reason_counts`.
+    """
+
+    serial_fallbacks: int = 0
+    worker_respawns: int = 0
+    chunks_redispatched: int = 0
+    checks_quarantined: int = 0
+    reasons: list[str] = field(default_factory=list)
+
+    def record_fallback(self, reason: str) -> None:
+        self.serial_fallbacks += 1
+        self.reasons.append(reason)
+
+    def degraded(self) -> bool:
+        return bool(
+            self.serial_fallbacks
+            or self.worker_respawns
+            or self.chunks_redispatched
+            or self.checks_quarantined
+        )
+
+    def merge(self, other: "DegradationReport") -> None:
+        self.serial_fallbacks += other.serial_fallbacks
+        self.worker_respawns += other.worker_respawns
+        self.chunks_redispatched += other.chunks_redispatched
+        self.checks_quarantined += other.checks_quarantined
+        self.reasons.extend(other.reasons)
+
+    def describe(self) -> list[str]:
+        """One line per degradation kind, for report rendering."""
+        lines = []
+        if self.serial_fallbacks:
+            lines.append(
+                f"{self.serial_fallbacks} serial fallback(s) — parallel "
+                f"execution was unavailable or broke; results were computed "
+                f"serially instead"
+            )
+        if self.worker_respawns:
+            lines.append(f"{self.worker_respawns} worker process(es) died and were respawned")
+        if self.chunks_redispatched:
+            lines.append(
+                f"{self.chunks_redispatched} chunk(s) re-dispatched after a worker death"
+            )
+        if self.checks_quarantined:
+            lines.append(
+                f"{self.checks_quarantined} check(s) quarantined to in-process execution"
+            )
+        for reason in self.reasons:
+            lines.append(f"reason: {reason}")
+        return lines
 
 
 def failure_status(failures: list, unknowns: list) -> str:
@@ -72,6 +153,20 @@ class VerificationReport:
         return [o for o in self.iter_outcomes() if o.unknown]
 
     @property
+    def unknown_reason_counts(self) -> "dict[str, int]":
+        """UNKNOWN outcomes bucketed by why: conflicts/timeout/wall-budget.
+
+        Outcomes without a recorded reason (pre-deadline caches) count
+        under ``"unspecified"``.
+        """
+        counts: dict[str, int] = {}
+        for o in self.iter_outcomes():
+            if o.unknown:
+                reason = getattr(o, "unknown_reason", None) or "unspecified"
+                counts[reason] = counts.get(reason, 0) + 1
+        return counts
+
+    @property
     def num_checks(self) -> int:
         return sum(1 for __ in self.iter_outcomes())
 
@@ -111,7 +206,7 @@ def format_safety_report(report, verbose: bool = False) -> str:
         lines.append("")
         lines.append(failure.explain())
     for outcome in report.unknowns:
-        lines.append(f"UNKNOWN (budget exhausted): {outcome.check.description}")
+        lines.append(f"UNKNOWN ({unknown_label(outcome)}): {outcome.check.description}")
     if verbose:
         lines.append("")
         lines.append("check breakdown:")
@@ -142,7 +237,7 @@ def format_liveness_report(report, verbose: bool = False) -> str:
                 lines.append("  " + failure.explain().replace("\n", "\n  "))
             for outcome in sub.unknowns:
                 lines.append(
-                    f"  UNKNOWN (budget exhausted): {outcome.check.description}"
+                    f"  UNKNOWN ({unknown_label(outcome)}): {outcome.check.description}"
                 )
         elif verbose:
             lines.append(f"no-interference at {router}: ok ({sub.num_checks} checks)")
@@ -150,17 +245,32 @@ def format_liveness_report(report, verbose: bool = False) -> str:
     # explain; list them so an unknown-only failure is never silent.
     for outcome in report.propagation_outcomes:
         if outcome.unknown:
-            lines.append(f"UNKNOWN (budget exhausted): {outcome.check.description}")
+            lines.append(f"UNKNOWN ({unknown_label(outcome)}): {outcome.check.description}")
     if report.implication_outcome.unknown:
         lines.append(
-            f"UNKNOWN (budget exhausted): "
+            f"UNKNOWN ({unknown_label(report.implication_outcome)}): "
             f"{report.implication_outcome.check.description}"
         )
     return "\n".join(lines)
 
 
+def degradation_lines(report) -> list[str]:
+    """The "degraded execution" section for a report, possibly empty."""
+    degradation = getattr(report, "degradation", None)
+    if degradation is None or not degradation.degraded():
+        return []
+    lines = ["", "degraded execution:"]
+    lines.extend("  " + line for line in degradation.describe())
+    return lines
+
+
 def format_report(report, verbose: bool = False) -> str:
     """Render any :class:`VerificationReport` (safety or liveness)."""
     if hasattr(report, "interference_reports"):
-        return format_liveness_report(report, verbose=verbose)
-    return format_safety_report(report, verbose=verbose)
+        rendered = format_liveness_report(report, verbose=verbose)
+    else:
+        rendered = format_safety_report(report, verbose=verbose)
+    extra = degradation_lines(report)
+    if extra:
+        rendered += "\n" + "\n".join(extra)
+    return rendered

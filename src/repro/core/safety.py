@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -32,10 +33,15 @@ from repro.core.checks import (
     LocalCheck,
     check_owner,
     generate_safety_checks,
+    skipped_outcome,
 )
 from repro.core.parallel import WorkerPool, run_checks_in_processes
 from repro.core.properties import InvariantMap, SafetyProperty
-from repro.core.report import VerificationReport, failure_status  # noqa: F401
+from repro.core.report import (  # noqa: F401
+    DegradationReport,
+    VerificationReport,
+    failure_status,
+)
 from repro.lang.ghost import GhostAttribute
 from repro.lang.predicates import predicate_atoms
 from repro.lang.universe import AttributeUniverse
@@ -56,6 +62,7 @@ class SafetyReport(VerificationReport):
     property: SafetyProperty
     outcomes: list[CheckOutcome]
     wall_time_s: float
+    degradation: DegradationReport | None = None
 
     def iter_outcomes(self):
         return iter(self.outcomes)
@@ -131,6 +138,9 @@ def run_checks(
     backend: str = "auto",
     sessions: SessionPool | None = None,
     workers: WorkerPool | None = None,
+    deadline_s: float | None = None,
+    run_deadline: float | None = None,
+    degradation: DegradationReport | None = None,
 ) -> list[CheckOutcome]:
     """Discharge a list of checks; outcomes come back in input order.
 
@@ -160,36 +170,94 @@ def run_checks(
     The one-shot process path (``parallel`` > 1 without ``workers``) keeps
     per-call workers, so a supplied ``sessions`` pool is simply unused
     there (outcomes are identical either way).
+
+    Fault-tolerance knobs: ``deadline_s`` bounds each check's solve in
+    wall-clock seconds; ``run_deadline`` (absolute ``time.monotonic()``)
+    bounds the whole call, resolving still-unrun checks to UNKNOWN with
+    reason ``wall-budget``.  ``degradation`` is an optional
+    :class:`DegradationReport` collector: serial fallbacks (also announced
+    via ``warnings.warn`` so they are never invisible) and the worker
+    pool's recovery counters are recorded on it.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
     jobs = resolve_jobs(parallel)
+
+    def _record_fallback(reason: str) -> None:
+        warnings.warn(
+            f"parallel check execution degraded to the serial path: {reason}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        if degradation is not None:
+            degradation.record_fallback(reason)
+
     if workers is not None and backend in ("auto", "process"):
-        outcomes = workers.run(checks, config, universe, ghosts, conflict_budget)
+        respawns = workers.worker_respawns
+        redispatched = workers.chunks_redispatched
+        quarantined = workers.checks_quarantined
+        outcomes = workers.run(
+            checks, config, universe, ghosts, conflict_budget,
+            deadline_s=deadline_s, run_deadline=run_deadline,
+        )
+        if degradation is not None:
+            degradation.worker_respawns += workers.worker_respawns - respawns
+            degradation.chunks_redispatched += (
+                workers.chunks_redispatched - redispatched
+            )
+            degradation.checks_quarantined += (
+                workers.checks_quarantined - quarantined
+            )
         if outcomes is not None:
             return outcomes
+        _record_fallback(workers.last_fallback_reason or "worker pool unavailable")
     # A single check cannot parallelise; forking a one-shot pool for it
     # (e.g. the liveness implication with parallel > 1 and no WorkerPool)
     # would be pure overhead, so it takes the serial session path below.
-    if jobs > 1 and len(checks) > 1 and backend in ("auto", "process"):
+    # The one-shot pool is also skipped under a run deadline: its blocking
+    # map() cannot return partial results, so the serial path below (which
+    # can stop between checks) honours the wall budget instead.
+    if (
+        jobs > 1 and len(checks) > 1 and backend in ("auto", "process")
+        and run_deadline is None
+    ):
         outcomes = run_checks_in_processes(
-            checks, config, universe, ghosts, conflict_budget, jobs
+            checks, config, universe, ghosts, conflict_budget, jobs,
+            deadline_s=deadline_s,
         )
         if outcomes is not None:
             return outcomes
+        _record_fallback("one-shot process pool unavailable")
     elif jobs > 1 and backend == "thread":
-        with ThreadPoolExecutor(max_workers=jobs) as pool:
-            return list(
-                pool.map(
-                    lambda ch: ch.run(config, universe, ghosts, conflict_budget), checks
-                )
+        def _run_threaded(check: LocalCheck) -> CheckOutcome:
+            if run_deadline is not None and time.monotonic() >= run_deadline:
+                return skipped_outcome(check, "wall-budget")
+            effective = deadline_s
+            if run_deadline is not None:
+                remaining = run_deadline - time.monotonic()
+                effective = remaining if effective is None else min(effective, remaining)
+            return check.run(
+                config, universe, ghosts, conflict_budget, deadline_s=effective
             )
+
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            return list(pool.map(_run_threaded, checks))
     pool = sessions if sessions is not None else SessionPool()
     outcomes = []
     for check in checks:
+        if run_deadline is not None and time.monotonic() >= run_deadline:
+            outcomes.append(skipped_outcome(check, "wall-budget"))
+            continue
+        effective = deadline_s
+        if run_deadline is not None:
+            remaining = run_deadline - time.monotonic()
+            effective = remaining if effective is None else min(effective, remaining)
         session = pool.get(check_owner(check))
         outcomes.append(
-            check.run(config, universe, ghosts, conflict_budget, session=session)
+            check.run(
+                config, universe, ghosts, conflict_budget,
+                session=session, deadline_s=effective,
+            )
         )
     return outcomes
 
@@ -205,9 +273,20 @@ def verify_safety(
     backend: str = "auto",
     sessions: SessionPool | None = None,
     workers: WorkerPool | None = None,
+    deadline_s: float | None = None,
+    wall_budget_s: float | None = None,
 ) -> SafetyReport:
-    """Verify a safety property via local checks (the §4 pipeline)."""
+    """Verify a safety property via local checks (the §4 pipeline).
+
+    ``deadline_s`` caps each check's solve; ``wall_budget_s`` caps the
+    whole verification — both in wall-clock seconds, both resolving to
+    UNKNOWN (reason ``timeout`` / ``wall-budget``) rather than hanging.
+    """
     start = time.perf_counter()
+    run_deadline = (
+        None if wall_budget_s is None else time.monotonic() + wall_budget_s
+    )
+    degradation = DegradationReport()
     if universe is None:
         universe = build_universe(config, invariants, [prop.predicate], ghosts)
     checks = generate_safety_checks(config, invariants, prop.location, prop.predicate)
@@ -221,11 +300,15 @@ def verify_safety(
         backend=backend,
         sessions=sessions,
         workers=workers,
+        deadline_s=deadline_s,
+        run_deadline=run_deadline,
+        degradation=degradation,
     )
     return SafetyReport(
         property=prop,
         outcomes=outcomes,
         wall_time_s=time.perf_counter() - start,
+        degradation=degradation,
     )
 
 
@@ -240,6 +323,8 @@ def verify_safety_family(
     universe: AttributeUniverse | None = None,
     sessions: SessionPool | None = None,
     workers: WorkerPool | None = None,
+    deadline_s: float | None = None,
+    wall_budget_s: float | None = None,
 ) -> SafetyReport:
     """Verify a family of safety properties sharing one invariant map.
 
@@ -258,6 +343,10 @@ def verify_safety_family(
     if not props:
         raise ValueError("empty property family")
     start = time.perf_counter()
+    run_deadline = (
+        None if wall_budget_s is None else time.monotonic() + wall_budget_s
+    )
+    degradation = DegradationReport()
     if universe is None:
         universe = build_universe(
             config, invariants, [p.predicate for p in props], ghosts
@@ -290,6 +379,9 @@ def verify_safety_family(
         backend=backend,
         sessions=sessions,
         workers=workers,
+        deadline_s=deadline_s,
+        run_deadline=run_deadline,
+        degradation=degradation,
     )
     family_name = props[0].name or "family"
     summary_prop = SafetyProperty(
@@ -301,4 +393,5 @@ def verify_safety_family(
         property=summary_prop,
         outcomes=outcomes,
         wall_time_s=time.perf_counter() - start,
+        degradation=degradation,
     )

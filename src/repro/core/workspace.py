@@ -72,7 +72,9 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
 
 
 # Bump whenever the pickled cache layout changes; a loader never guesses.
-CACHE_FORMAT = 1
+# Format 2: CheckOutcome records ``unknown_reason`` (deadline/budget
+# attribution), so format-1 outcomes would deserialize incompletely.
+CACHE_FORMAT = 2
 
 
 class WorkspaceCacheError(ValueError):
@@ -218,6 +220,17 @@ class Workspace(IncrementalSubstrate):
     conflict_budget:
         Default per-check SAT conflict budget for every ``verify`` call
         (overridable per call).
+    deadline_s:
+        Wall-clock cap, in seconds, for each individual check's solve;
+        a check that exceeds it comes back UNKNOWN with reason
+        ``timeout`` instead of hanging the run.
+    wall_budget_s:
+        Wall-clock cap for each ``verify``/``reverify`` run; once spent,
+        the remaining checks come back UNKNOWN with reason
+        ``wall-budget`` and the report carries the partial results.
+        :meth:`IncrementalSubstrate.set_run_deadline` instead pins one
+        absolute deadline across several runs.  Neither deadline is part
+        of a cache fingerprint — they bound execution, not the problem.
     sessions / workers:
         Borrow an externally owned :class:`SessionPool` / persistent
         :class:`WorkerPool` (or a lazy supplier of one) instead of owning
@@ -236,13 +249,23 @@ class Workspace(IncrementalSubstrate):
         conflict_budget: int | None = None,
         sessions: "SessionPool | None" = None,
         workers: "WorkerPool | Callable[[], WorkerPool | None] | None" = None,
+        deadline_s: float | None = None,
+        wall_budget_s: float | None = None,
     ) -> None:
         problems = config.validate()
         if problems:
             raise ValueError("invalid network configuration: " + "; ".join(problems))
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
-        super().__init__(parallel, backend, conflict_budget, sessions, workers)
+        super().__init__(
+            parallel,
+            backend,
+            conflict_budget,
+            sessions,
+            workers,
+            deadline_s=deadline_s,
+            wall_budget_s=wall_budget_s,
+        )
         self.config = config
         self.ghosts = tuple(ghosts)
         self.stats = WorkspaceStats()
@@ -507,6 +530,8 @@ class Workspace(IncrementalSubstrate):
         conflict_budget: int | None = None,
         sessions: "SessionPool | None" = None,
         workers: "WorkerPool | Callable[[], WorkerPool | None] | None" = None,
+        deadline_s: float | None = None,
+        wall_budget_s: float | None = None,
     ) -> "Workspace":
         """Restore a workspace (outcome caches included) from :meth:`save`.
 
@@ -536,72 +561,85 @@ class Workspace(IncrementalSubstrate):
                 f"workspace cache at {path} has format {state['format']}, "
                 f"this build reads format {CACHE_FORMAT}; delete it and rerun"
             )
-        if config is None:
-            config = state["config"]
-        elif (
-            config_digests(config) != state["config_digests"]
-            or _topology_fp(config) != state["topology"]
-        ):
-            raise WorkspaceCacheMismatch(
-                f"workspace cache at {path} was saved for a different "
-                f"configuration (policy digests differ); delete it or rerun "
-                f"without the cache"
+        # Everything below interprets untrusted on-disk structure: a
+        # corrupt-but-unpicklable payload fails above, but a bit flip can
+        # also yield a *valid* pickle with the wrong shape, and the caller
+        # must see WorkspaceCacheError, never a raw KeyError/TypeError.
+        try:
+            if config is None:
+                config = state["config"]
+            elif (
+                config_digests(config) != state["config_digests"]
+                or _topology_fp(config) != state["topology"]
+            ):
+                raise WorkspaceCacheMismatch(
+                    f"workspace cache at {path} was saved for a different "
+                    f"configuration (policy digests differ); delete it or rerun "
+                    f"without the cache"
+                )
+            if ghosts is None:
+                ghosts = state["ghosts"]
+            elif _ghosts_fp(tuple(ghosts)) != state["ghosts_fp"]:
+                raise WorkspaceCacheMismatch(
+                    f"workspace cache at {path} was saved with different ghost "
+                    f"definitions; delete it or rerun without the cache"
+                )
+            workspace = cls(
+                config,
+                ghosts=tuple(ghosts),
+                parallel=parallel,
+                backend=backend,
+                conflict_budget=conflict_budget,
+                sessions=sessions,
+                workers=workers,
+                deadline_s=deadline_s,
+                wall_budget_s=wall_budget_s,
             )
-        if ghosts is None:
-            ghosts = state["ghosts"]
-        elif _ghosts_fp(tuple(ghosts)) != state["ghosts_fp"]:
-            raise WorkspaceCacheMismatch(
-                f"workspace cache at {path} was saved with different ghost "
-                f"definitions; delete it or rerun without the cache"
-            )
-        workspace = cls(
-            config,
-            ghosts=tuple(ghosts),
-            parallel=parallel,
-            backend=backend,
-            conflict_budget=conflict_budget,
-            sessions=sessions,
-            workers=workers,
-        )
-        for doc in state["entries"]:
-            kind = doc["kind"]
-            tracker_state = doc["state"]
-            if kind == "safety":
-                tracker: SafetyTracker | LivenessTracker = SafetyTracker.from_state(
-                    workspace, tracker_state, workspace.ghosts
+            for doc in state["entries"]:
+                kind = doc["kind"]
+                tracker_state = doc["state"]
+                if kind == "safety":
+                    tracker: SafetyTracker | LivenessTracker = SafetyTracker.from_state(
+                        workspace, tracker_state, workspace.ghosts
+                    )
+                    fingerprint = _entry_fingerprint(
+                        kind,
+                        tracker.prop,
+                        tracker.invariants,
+                        None,
+                        tracker.conflict_budget,
+                    )
+                elif kind == "liveness":
+                    tracker = LivenessTracker.from_state(
+                        workspace, tracker_state, workspace.ghosts
+                    )
+                    fingerprint = _entry_fingerprint(
+                        kind,
+                        tracker.prop,
+                        None,
+                        tracker.interference_invariants,
+                        tracker.conflict_budget,
+                    )
+                else:
+                    raise WorkspaceCacheError(
+                        f"workspace cache at {path} holds an unknown entry kind "
+                        f"{kind!r}"
+                    )
+                # Trackers carry their own config snapshot for topology-change
+                # detection; point them at this process's (content-equal) one.
+                tracker._config = workspace.config
+                workspace._entries.append(
+                    WorkspaceEntry(
+                        kind=kind,
+                        property=tracker.prop,
+                        fingerprint=fingerprint,
+                        tracker=tracker,
+                    )
                 )
-                fingerprint = _entry_fingerprint(
-                    kind,
-                    tracker.prop,
-                    tracker.invariants,
-                    None,
-                    tracker.conflict_budget,
-                )
-            elif kind == "liveness":
-                tracker = LivenessTracker.from_state(
-                    workspace, tracker_state, workspace.ghosts
-                )
-                fingerprint = _entry_fingerprint(
-                    kind,
-                    tracker.prop,
-                    None,
-                    tracker.interference_invariants,
-                    tracker.conflict_budget,
-                )
-            else:
-                raise WorkspaceCacheError(
-                    f"workspace cache at {path} holds an unknown entry kind "
-                    f"{kind!r}"
-                )
-            # Trackers carry their own config snapshot for topology-change
-            # detection; point them at this process's (content-equal) one.
-            tracker._config = workspace.config
-            workspace._entries.append(
-                WorkspaceEntry(
-                    kind=kind,
-                    property=tracker.prop,
-                    fingerprint=fingerprint,
-                    tracker=tracker,
-                )
-            )
+        except WorkspaceCacheError:
+            raise
+        except (KeyError, TypeError, AttributeError, IndexError) as exc:
+            raise WorkspaceCacheError(
+                f"workspace cache at {path} is corrupt: {exc!r}"
+            ) from exc
         return workspace

@@ -27,6 +27,7 @@ and :class:`repro.smt.solver.CheckSession`.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass
 
 
@@ -92,6 +93,9 @@ class SatSolver:
         self.stats = SatStats()
         self.max_learnts_base = 4000
         self.num_clauses_added = 0
+        # Why the last solve() returned None: "conflicts" (budget) or
+        # "timeout" (wall-clock deadline).  None after a decided answer.
+        self.stop_reason: str | None = None
 
     # ------------------------------------------------------------------
     # Signed-literal views (DIMACS export, tests)
@@ -423,18 +427,33 @@ class SatSolver:
     # Main search loop
     # ------------------------------------------------------------------
 
-    def solve(self, assumptions: list[int] | None = None, conflict_budget: int | None = None) -> bool | None:
+    def solve(
+        self,
+        assumptions: list[int] | None = None,
+        conflict_budget: int | None = None,
+        deadline: float | None = None,
+    ) -> bool | None:
         """Run CDCL search.
 
         Returns True (sat), False (unsat), or None if ``conflict_budget``
-        was exhausted.  ``assumptions`` are decided first; an unsat answer
-        under assumptions means the formula plus assumptions is unsat.  The
-        solver remains usable afterwards: learnt clauses are consequences of
-        the clause database alone, so later solves (with different
-        assumptions) stay sound.
+        or the wall-clock ``deadline`` (an absolute ``time.monotonic()``
+        timestamp, checked at every conflict and decision) was exhausted —
+        ``stop_reason`` then says which ("conflicts" / "timeout").
+        ``assumptions`` are decided first; an unsat answer under
+        assumptions means the formula plus assumptions is unsat.  The
+        solver remains usable afterwards: learnt clauses are consequences
+        of the clause database alone, so later solves (with different
+        assumptions) stay sound — an undecided answer leaves the trail
+        reset and the database intact.
         """
         if not self.ok:
             return False
+        self.stop_reason = None
+        if deadline is not None and time.monotonic() >= deadline:
+            # Expired before search even starts (e.g. the run's wall budget
+            # is gone): report timeout rather than burning one more check.
+            self.stop_reason = "timeout"
+            return None
         self._cancel_until(0)
         assume_codes = [_to_code(l) for l in (assumptions or [])]
         conflict = self._propagate()
@@ -470,6 +489,11 @@ class SatSolver:
                 self._decay_activities()
                 if conflict_budget is not None and total_conflicts >= conflict_budget:
                     self._cancel_until(0)
+                    self.stop_reason = "conflicts"
+                    return None
+                if deadline is not None and time.monotonic() >= deadline:
+                    self._cancel_until(0)
+                    self.stop_reason = "timeout"
                     return None
                 continue
 
@@ -504,6 +528,17 @@ class SatSolver:
                 next_code = (v << 1) if self.phase[v] else ((v << 1) | 1)
 
             self.stats.decisions += 1
+            if (
+                deadline is not None
+                and self.stats.decisions & 0x3F == 0
+                and time.monotonic() >= deadline
+            ):
+                # Conflict-free search (long propagation chains between
+                # conflicts) must also honour the deadline; sampling every
+                # 64 decisions keeps the clock off the hot path.
+                self._cancel_until(0)
+                self.stop_reason = "timeout"
+                return None
             self.trail_lim.append(len(self._trail))
             self._enqueue(next_code, None)
 

@@ -58,6 +58,9 @@ class SolverStats:
     build_time_s: float = 0.0
     solve_time_s: float = 0.0
     sat: SatStats = field(default_factory=SatStats)
+    # Why the answer was UNKNOWN: "conflicts" (budget) or "timeout"
+    # (wall-clock deadline).  None for decided answers.
+    unknown_reason: str | None = None
 
     @property
     def total_time_s(self) -> float:
@@ -296,16 +299,28 @@ class Solver:
         self._build()
         return self.stats
 
-    def check(self, conflict_budget: int | None = None) -> Result:
-        """Decide the conjunction of all added assertions."""
+    def check(
+        self,
+        conflict_budget: int | None = None,
+        deadline_s: float | None = None,
+    ) -> Result:
+        """Decide the conjunction of all added assertions.
+
+        ``deadline_s`` is a wall-clock budget in seconds for the SAT
+        search; on expiry the answer is UNKNOWN with
+        ``stats.unknown_reason == "timeout"``.
+        """
         self._model = None
+        self.stats.unknown_reason = None
         sat, blaster, tseitin = self._build()
+        deadline = None if deadline_s is None else time.monotonic() + deadline_s
         solve_start = time.perf_counter()
-        answer = sat.solve(conflict_budget=conflict_budget)
+        answer = sat.solve(conflict_budget=conflict_budget, deadline=deadline)
         self.stats.solve_time_s = time.perf_counter() - solve_start
         self.stats.sat = sat.stats
 
         if answer is None:
+            self.stats.unknown_reason = sat.stop_reason
             return Result.UNKNOWN
         if not answer:
             return Result.UNSAT
@@ -349,8 +364,14 @@ class CheckSession:
         self,
         assertions: Sequence[Term],
         conflict_budget: int | None = None,
+        deadline_s: float | None = None,
     ) -> Result:
-        """Decide the conjunction of ``assertions`` under encoding reuse."""
+        """Decide the conjunction of ``assertions`` under encoding reuse.
+
+        ``deadline_s`` bounds this check's SAT search in wall-clock
+        seconds; expiry yields UNKNOWN with ``stats.unknown_reason ==
+        "timeout"``.  The session stays usable afterwards.
+        """
         self._model = None
         sat = self._sat
         # Encoding must happen at decision level 0; a previous SAT answer
@@ -387,8 +408,13 @@ class CheckSession:
         if infeasible:
             return Result.UNSAT
         sat_before = replace(sat.stats)
+        deadline = None if deadline_s is None else time.monotonic() + deadline_s
         solve_start = time.perf_counter()
-        answer = sat.solve(assumptions=assumptions, conflict_budget=conflict_budget)
+        answer = sat.solve(
+            assumptions=assumptions,
+            conflict_budget=conflict_budget,
+            deadline=deadline,
+        )
         self.stats.solve_time_s = time.perf_counter() - solve_start
         self.stats.sat = SatStats(
             decisions=sat.stats.decisions - sat_before.decisions,
@@ -399,6 +425,7 @@ class CheckSession:
             max_learnt_len=sat.stats.max_learnt_len,
         )
         if answer is None:
+            self.stats.unknown_reason = sat.stop_reason
             return Result.UNKNOWN
         if not answer:
             return Result.UNSAT

@@ -1,0 +1,187 @@
+"""Tests for the deterministic fault-injection harness itself.
+
+The chaos suite (test_recovery / test_deadlines) trusts this module to
+fire exactly the configured faults; these tests pin the plan parsing,
+per-worker slicing, and file-damage helpers it builds on.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.testing.faults import (
+    FaultInjected,
+    FaultPlan,
+    active_plan,
+    corrupt_file,
+    install,
+    on_check_start,
+    reset,
+    truncate_file,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    reset()
+    yield
+    reset()
+
+
+# ---------------------------------------------------------------------------
+# Plan parsing (REPRO_FAULTS)
+# ---------------------------------------------------------------------------
+
+
+def test_from_env_parses_every_field():
+    plan = FaultPlan.from_env(
+        "kill_worker_after_chunks=2, kill_worker_index=1, kill_times=3,"
+        "delay_check_s=0.25, delay_check_match=import check,"
+        "hang_check_match=export check, raise_in_check_match=implication"
+    )
+    assert plan == FaultPlan(
+        kill_worker_after_chunks=2,
+        kill_worker_index=1,
+        kill_times=3,
+        delay_check_s=0.25,
+        delay_check_match="import check",
+        hang_check_match="export check",
+        raise_in_check_match="implication",
+    )
+
+
+def test_from_env_empty_means_no_plan():
+    assert FaultPlan.from_env("") is None
+    assert FaultPlan.from_env("  ,  ") == FaultPlan()
+
+
+def test_from_env_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown or malformed"):
+        FaultPlan.from_env("kill_wroker_after_chunks=2")
+
+
+def test_from_env_rejects_malformed_entries():
+    with pytest.raises(ValueError, match="unknown or malformed"):
+        FaultPlan.from_env("kill_worker_after_chunks")
+
+
+def test_active_plan_reads_environment_once(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS", "kill_worker_after_chunks=1")
+    reset()
+    assert active_plan().kill_worker_after_chunks == 1
+    # Cached: later env changes are not observed until the next reset().
+    monkeypatch.setenv("REPRO_FAULTS", "kill_worker_after_chunks=7")
+    assert active_plan().kill_worker_after_chunks == 1
+    reset()
+    assert active_plan().kill_worker_after_chunks == 7
+
+
+def test_install_wins_over_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS", "kill_worker_after_chunks=1")
+    install(None)
+    assert active_plan() is None
+    install(FaultPlan(delay_check_s=0.1))
+    assert active_plan().delay_check_s == 0.1
+
+
+# ---------------------------------------------------------------------------
+# Per-worker slicing and kill accounting
+# ---------------------------------------------------------------------------
+
+
+def test_worker_faults_strips_kill_for_other_workers():
+    plan = FaultPlan(kill_worker_after_chunks=2, kill_worker_index=0)
+    assert plan.worker_faults(0) == plan
+    # The kill is worker-scoped; with nothing else set the slice is inert.
+    assert plan.worker_faults(1) is None
+
+
+def test_worker_faults_keeps_check_level_faults_everywhere():
+    plan = FaultPlan(
+        kill_worker_after_chunks=2, kill_worker_index=0, delay_check_s=0.5
+    )
+    other = plan.worker_faults(1)
+    assert other.kill_worker_after_chunks is None
+    assert other.delay_check_s == 0.5
+
+
+def test_consume_kill_counts_down_then_disarms():
+    plan = FaultPlan(kill_worker_after_chunks=1, kill_times=2)
+    once = plan.consume_kill()
+    assert once.kill_worker_after_chunks == 1
+    assert once.kill_times == 1
+    twice = once.consume_kill()
+    assert twice.kill_worker_after_chunks is None
+    # A disarmed plan ships no kill to any worker.
+    assert twice.worker_faults(0) is None
+
+
+def test_consume_kill_without_kill_is_identity():
+    plan = FaultPlan(delay_check_s=0.1)
+    assert plan.consume_kill() is plan
+
+
+# ---------------------------------------------------------------------------
+# Check-level hooks
+# ---------------------------------------------------------------------------
+
+
+def test_raise_in_check_fires_on_match_only():
+    install(FaultPlan(raise_in_check_match="export check at R2"))
+    on_check_start("import check at R1")  # no match: silent
+    with pytest.raises(FaultInjected):
+        on_check_start("export check at R2 on R2->E2")
+
+
+def test_hang_sleeps_just_past_the_deadline():
+    install(FaultPlan(hang_check_match="slow"))
+    start = time.monotonic()
+    on_check_start("slow check", deadline_abs=time.monotonic() + 0.05)
+    elapsed = time.monotonic() - start
+    assert 0.05 <= elapsed < 2.0
+
+
+def test_hook_is_inert_without_a_plan():
+    start = time.monotonic()
+    on_check_start("any check at all")
+    assert time.monotonic() - start < 0.5
+
+
+# ---------------------------------------------------------------------------
+# File damage helpers
+# ---------------------------------------------------------------------------
+
+
+def test_corrupt_file_flips_one_byte(tmp_path):
+    target = tmp_path / "blob.bin"
+    target.write_bytes(b"\x00\x01\x02\x03")
+    corrupt_file(target, 2)
+    assert target.read_bytes() == b"\x00\x01\xfd\x03"
+    # XOR is an involution: damaging the same byte again restores it.
+    corrupt_file(target, 2)
+    assert target.read_bytes() == b"\x00\x01\x02\x03"
+
+
+def test_corrupt_file_negative_offset_is_from_the_end(tmp_path):
+    target = tmp_path / "blob.bin"
+    target.write_bytes(b"abcd")
+    corrupt_file(target, -1, flip=0x01)
+    assert target.read_bytes() == b"abce"
+
+
+def test_corrupt_file_refuses_empty_files(tmp_path):
+    target = tmp_path / "empty.bin"
+    target.write_bytes(b"")
+    with pytest.raises(ValueError, match="empty"):
+        corrupt_file(target, 0)
+
+
+def test_truncate_file_keeps_a_prefix(tmp_path):
+    target = tmp_path / "blob.bin"
+    target.write_bytes(b"0123456789")
+    truncate_file(target, 4)
+    assert target.read_bytes() == b"0123"
+    truncate_file(target, 0)
+    assert target.read_bytes() == b""
