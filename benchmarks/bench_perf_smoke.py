@@ -24,16 +24,23 @@ import pytest
 from repro.core.safety import verify_safety
 from repro.lang.predicates import predicate_term_cache_stats
 from repro.lang.transfer import reset_transfer_cache, transfer_cache_stats
+from repro.smt.solver import SessionPool
 
 from benchmarks.conftest import fullmesh_problem
 
 SMOKE_N = 25
 
 
-def _sweep(parallel=None, backend="auto"):
+def _sweep(parallel=None, backend="auto", sessions=None):
     config, ghost, prop, invariants = fullmesh_problem(SMOKE_N)
     report = verify_safety(
-        config, prop, invariants, ghosts=(ghost,), parallel=parallel, backend=backend
+        config,
+        prop,
+        invariants,
+        ghosts=(ghost,),
+        parallel=parallel,
+        backend=backend,
+        sessions=sessions,
     )
     assert report.passed
     return report
@@ -49,8 +56,11 @@ def _sweep(parallel=None, backend="auto"):
 )
 def test_perf_smoke_fullmesh(benchmark, mode, parallel, backend):
     reset_transfer_cache()
+    pool = SessionPool()
     report = benchmark.pedantic(
-        lambda: _sweep(parallel=parallel, backend=backend), rounds=1, iterations=1
+        lambda: _sweep(parallel=parallel, backend=backend, sessions=pool),
+        rounds=1,
+        iterations=1,
     )
     benchmark.extra_info["mode"] = mode
     benchmark.extra_info["routers"] = SMOKE_N
@@ -71,4 +81,14 @@ def test_perf_smoke_fullmesh(benchmark, mode, parallel, backend):
         "hits": predicates.hits,
         "misses": predicates.misses,
         "hit_rate": round(predicates.hit_rate, 4),
+    }
+    # Solver warm-start counters (PR 7): shared fragments skipped as
+    # per-check assumptions and learnt clauses retained/imported.  Like
+    # the term caches, these are in-process — the process backend's
+    # per-worker pools keep their own counters, so jobs2 may read 0.
+    session_stats = pool.stats()
+    benchmark.extra_info["solver_reuse"] = {
+        "shared_skips": session_stats["shared_skips"],
+        "learnts_imported": session_stats["learnts_imported"],
+        "learnts_kept": session_stats["learnts_kept"],
     }

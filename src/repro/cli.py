@@ -59,6 +59,7 @@ from repro.bgp.configparse import parse_config
 from repro.core.report import format_report
 from repro.core.workspace import Workspace, WorkspaceCacheMismatch
 from repro.lang.specjson import spec_from_json
+from repro.smt.solver import set_solver_reuse_enabled, solver_reuse_enabled
 
 CACHE_FILENAME = "workspace.lyc"
 
@@ -237,7 +238,20 @@ def _consulted_line(result, label: str = "reverify") -> str:
     )
 
 
+def _apply_solver_reuse_flag(args: argparse.Namespace) -> None:
+    """Honour ``--no-solver-reuse`` before any session or pool exists.
+
+    Sessions snapshot the flag at construction and it rides in the worker
+    context fingerprint, so setting it here switches warm-start end to
+    end: pre-asserted fragments, learnt retention, and cache seeds.  Set
+    unconditionally so repeated in-process ``main()`` calls (tests) do
+    not inherit a previous invocation's flag.
+    """
+    set_solver_reuse_enabled(not getattr(args, "no_solver_reuse", False))
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
+    _apply_solver_reuse_flag(args)
     config = _load_config(args.config)
     spec = spec_from_json(Path(args.spec).read_text())
     ghosts = spec.build_ghosts(config.topology)
@@ -300,6 +314,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 def _cmd_reverify(args: argparse.Namespace) -> int:
     from repro.bgp.configdiff import diff_configs
 
+    _apply_solver_reuse_flag(args)
     base = _load_config(args.base)
     edited = _load_config(args.edited)
     problems_found = edited.validate()
@@ -372,6 +387,19 @@ def _cmd_reverify(args: argparse.Namespace) -> int:
             print(_consulted_line(result))
             print()
             reports.append(result.report)
+        if loaded and solver_reuse_enabled():
+            # Warm-start observability: what the cache restored and how
+            # much of it the reverify actually imported (a digest mismatch
+            # after an invasive edit legitimately imports less).
+            imported = workspace.sessions.stats()["learnts_imported"]
+            pool = workspace._worker_pool
+            if pool is not None:
+                imported += pool.learnts_seeded
+            print(
+                f"solver reuse: restored {workspace.restored_learnts} learnt "
+                f"clauses for {workspace.restored_learnt_owners} owners; "
+                f"{imported} imported into sessions"
+            )
     return _reports_exit_code(reports)
 
 
@@ -446,6 +474,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist the outcome cache in DIR; a later verify/reverify of "
         "the same config+spec loads it instead of re-verifying",
     )
+    p_verify.add_argument(
+        "--no-solver-reuse",
+        action="store_true",
+        help="disable solver warm-start (shared-fragment pre-assertion and "
+        "learnt-clause reuse); escape hatch for debugging or A/B timing",
+    )
     p_verify.add_argument("--verbose", action="store_true")
     p_verify.set_defaults(func=_cmd_verify)
 
@@ -494,6 +528,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="persist the BASE outcome cache in DIR; later invocations load "
         "it, skip the base run, and consult only the edited owners' checks",
+    )
+    p_rev.add_argument(
+        "--no-solver-reuse",
+        action="store_true",
+        help="disable solver warm-start (shared-fragment pre-assertion and "
+        "learnt-clause reuse), including cache-restored learnt clauses",
     )
     p_rev.add_argument("--verbose", action="store_true")
     p_rev.set_defaults(func=_cmd_reverify)

@@ -52,9 +52,14 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import TYPE_CHECKING, Sequence
 
-from repro.core.checks import check_owner, skipped_outcome
+from repro.core.checks import check_owner, prepare_session, skipped_outcome
 from repro.lang.transfer import set_transfer_cache_enabled, transfer_cache_enabled
-from repro.smt.solver import CheckSession, SessionPool
+from repro.smt.solver import (
+    CheckSession,
+    SessionPool,
+    set_solver_reuse_enabled,
+    solver_reuse_enabled,
+)
 from repro.testing import faults
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
@@ -76,6 +81,7 @@ def _init_worker(
     conflict_budget: int | None,
     cache_enabled: bool = True,
     deadline_s: float | None = None,
+    solver_reuse: bool = True,
 ) -> None:
     global _WORKER_CONTEXT
     _WORKER_CONTEXT = (config, universe, ghosts, conflict_budget, deadline_s)
@@ -84,6 +90,9 @@ def _init_worker(
     # pickle usefully), but a cache-off differential run must stay cache-off
     # end to end.
     set_transfer_cache_enabled(cache_enabled)
+    # Likewise the solver warm-start switch: sessions snapshot it at
+    # construction, so it must be set before any session exists.
+    set_solver_reuse_enabled(solver_reuse)
 
 
 def _run_chunk(
@@ -93,6 +102,7 @@ def _run_chunk(
     assert _WORKER_CONTEXT is not None, "worker initializer did not run"
     config, universe, ghosts, conflict_budget, deadline_s = _WORKER_CONTEXT
     session = CheckSession()
+    prepare_session(session, universe, [check for __, check in indexed_checks])
     return [
         (
             index,
@@ -141,7 +151,7 @@ def run_checks_in_processes(
             initializer=_init_worker,
             initargs=(
                 config, universe, ghosts, conflict_budget,
-                transfer_cache_enabled(), deadline_s,
+                transfer_cache_enabled(), deadline_s, solver_reuse_enabled(),
             ),
         ) as pool:
             outcomes: list["CheckOutcome | None"] = [None] * len(checks)
@@ -197,18 +207,36 @@ def _persistent_worker_main(
         if kind == "drop":
             contexts.pop(message[1], None)
             continue
-        __, run_id, chunk_index, token, indexed_checks, deadline_s, run_deadline = message
+        (
+            __, run_id, chunk_index, token, indexed_checks,
+            deadline_s, run_deadline, seed,
+        ) = message
         chunks_received += 1
         if kill_after is not None and chunks_received >= kill_after:
             # Simulated hard crash: no reply, no cleanup, no exit handlers.
             os._exit(1)
         try:
-            config, universe, ghosts, conflict_budget, cache_enabled = contexts[token]
+            (
+                config, universe, ghosts, conflict_budget,
+                cache_enabled, solver_reuse,
+            ) = contexts[token]
             # Re-apply per chunk, not just at context arrival: chunks for an
             # earlier context may follow a context with the other setting.
             set_transfer_cache_enabled(cache_enabled)
+            # Must be set before sessions.get — a new session snapshots the
+            # flag at construction.
+            set_solver_reuse_enabled(solver_reuse)
             owner = check_owner(indexed_checks[0][1])
             session = sessions.get(owner)
+            prepare_session(
+                session, universe, [c for __, c in indexed_checks]
+            )
+            if seed is not None:
+                # Stage rather than import directly: on a digest mismatch
+                # the pool keeps the seed pending and retries at the next
+                # chunk for this owner, once the preamble has converged.
+                sessions.seed(owner, *seed)
+            sessions.try_seed(owner, session)
             vars_before = session.total_vars
             clauses_before = session.total_clauses
             pairs = []
@@ -235,7 +263,13 @@ def _persistent_worker_main(
                 session.total_vars - vars_before,
                 session.total_clauses - clauses_before,
             )
-            reply = (run_id, chunk_index, "ok", owner, pairs, grew)
+            # Ship the kept (shared-only) learnt clauses back with the
+            # result so the parent can seed respawned or future workers —
+            # and persist them in the workspace cache.
+            reply = (
+                run_id, chunk_index, "ok", owner, pairs, grew,
+                session.export_learnts(),
+            )
         except Exception as exc:  # genuine check failure: ship it back
             reply = (run_id, chunk_index, "error", exc)
         try:
@@ -328,9 +362,19 @@ class WorkerPool:
         self._retired: set[int] = set()  # worker slots given up on
         self._parent_sessions: SessionPool | None = None  # for quarantined checks
         self._fault_plan = None  # injected FaultPlan, if any (testing)
+        # Learnt-clause warm-start state: the freshest per-owner export
+        # collected from worker replies (or absorbed from a workspace
+        # cache), plus which (worker slot, owner) pairs have been seeded —
+        # cleared per slot on respawn so a fresh worker is re-seeded and
+        # recovery does not restart its search from zero.
+        self._learnt_store: dict[object, tuple[str, list[list[int]]]] = {}
+        self._seeded: list[set[object]] = []
+        self._seeded_parent: set[object] = set()
         # Reuse telemetry (tests and benchmarks read these).
         self.contexts_shipped = 0
         self.chunks_run = 0
+        self.learnts_collected = 0
+        self.learnts_seeded = 0
         self.last_encoding_growth: dict[object, tuple[int, int]] = {}
         # Degradation telemetry (see stats()).
         self.worker_respawns = 0
@@ -365,6 +409,7 @@ class WorkerPool:
                 process.start()
                 self._workers.append((process, task_queue))
                 self._shipped.append(set())
+                self._seeded.append(set())
         except (OSError, ImportError, ValueError):
             self._abandon()
             return False
@@ -388,6 +433,7 @@ class WorkerPool:
             self._reap(process)
         self._workers = []
         self._shipped = []
+        self._seeded = []
         self._results = None
         self._broken = True
 
@@ -415,6 +461,7 @@ class WorkerPool:
                 self._reap(process)
         self._workers = []
         self._shipped = []
+        self._seeded = []
         self._results = None
         self._closed = True
 
@@ -458,6 +505,9 @@ class WorkerPool:
             self._workers[worker_index][0].join(timeout=1)  # reap the corpse
             self._workers[worker_index] = (process, task_queue)
             self._shipped[worker_index] = set()
+            # The slot's sessions died with the process: re-seed its owners
+            # from the learnt store so recovery warm-starts, not restarts.
+            self._seeded[worker_index] = set()
             self.worker_respawns += 1
             return True
         return False
@@ -528,7 +578,15 @@ class WorkerPool:
         if self._parent_sessions is None:
             self._parent_sessions = SessionPool()
         for chunk_index in chunk_indices:
-            for index, check in chunks[chunk_index]:
+            chunk = chunks[chunk_index]
+            owner = check_owner(chunk[0][1])
+            session = self._parent_sessions.get(owner)
+            prepare_session(session, universe, [c for __, c in chunk])
+            if owner in self._learnt_store and owner not in self._seeded_parent:
+                self._seeded_parent.add(owner)
+                self._parent_sessions.seed(owner, *self._learnt_store[owner])
+            self._parent_sessions.try_seed(owner, session)
+            for index, check in chunk:
                 if outcomes[index] is not None:
                     continue
                 if run_deadline is not None and time.monotonic() >= run_deadline:
@@ -538,7 +596,6 @@ class WorkerPool:
                 if run_deadline is not None:
                     remaining = run_deadline - time.monotonic()
                     effective = remaining if effective is None else min(effective, remaining)
-                session = self._parent_sessions.get(check_owner(check))
                 outcomes[index] = check.run(
                     config, universe, ghosts, conflict_budget,
                     session=session, deadline_s=effective,
@@ -582,6 +639,7 @@ class WorkerPool:
             frozen_ghosts,
             conflict_budget,
             transfer_cache_enabled(),
+            solver_reuse_enabled(),
         )
 
     def _evict_oldest_context(self) -> None:
@@ -662,6 +720,9 @@ class WorkerPool:
             "imbalance": (max(loads) / mean_load) if mean_load else 1.0,
             "contexts_shipped": self.contexts_shipped,
             "chunks_run": self.chunks_run,
+            "learnts_collected": self.learnts_collected,
+            "learnts_seeded": self.learnts_seeded,
+            "learnt_store_owners": len(self._learnt_store),
             "serial_fallbacks": self.serial_fallbacks,
             "last_fallback_reason": self.last_fallback_reason,
             "worker_respawns": self.worker_respawns,
@@ -669,6 +730,25 @@ class WorkerPool:
             "checks_quarantined": self.checks_quarantined,
             "quarantined_owners": sorted(self._quarantined, key=str),
         }
+
+    # -- learnt-clause warm start --------------------------------------
+
+    def absorb_learnts(
+        self, seeds: dict[object, tuple[str, list[list[int]]]]
+    ) -> None:
+        """Adopt per-owner learnt exports as worker seeds.
+
+        Used to feed exports restored from a workspace cache into the
+        pool.  An owner the pool already collected fresher clauses for
+        keeps its own export — worker-fresh beats absorbed.
+        """
+        for owner, export in seeds.items():
+            if self._learnt_store.setdefault(owner, export) is export:
+                self.learnts_collected += len(export[1])
+
+    def learnt_snapshot(self) -> dict[object, tuple[str, list[list[int]]]]:
+        """The freshest per-owner learnt exports (for persistence)."""
+        return dict(self._learnt_store)
 
     def run(
         self,
@@ -706,7 +786,7 @@ class WorkerPool:
             self._token_order.append(token)
             self._payloads[token] = (
                 config, universe, tuple(ghosts), conflict_budget,
-                transfer_cache_enabled(),
+                transfer_cache_enabled(), solver_reuse_enabled(),
             )
         payload = self._payloads[token]
         self._run_counter += 1
@@ -758,9 +838,17 @@ class WorkerPool:
                             task_queue.put(("context", token, payload))
                             self._shipped[worker_index].add(token)
                             self.contexts_shipped += 1
+                        seed = None
+                        if (
+                            owner not in self._seeded[worker_index]
+                            and owner in self._learnt_store
+                        ):
+                            seed = self._learnt_store[owner]
+                            self._seeded[worker_index].add(owner)
+                            self.learnts_seeded += len(seed[1])
                         task_queue.put(
                             ("chunk", run_id, chunk_index, token, chunk,
-                             deadline_s, run_deadline)
+                             deadline_s, run_deadline, seed)
                         )
                         dispatch_seq.setdefault(worker_index, []).append(chunk_index)
                         dispatched[chunk_index] = worker_index
@@ -796,9 +884,14 @@ class WorkerPool:
                 return ("machinery", None)
             if status == "error":
                 return ("error", rest[0])
-            owner, pairs, grew = rest
+            owner, pairs, grew, learnt_export = rest
             for index, outcome in pairs:
                 outcomes[index] = outcome
+            if learnt_export is not None:
+                # Freshest export wins: it supersedes both earlier replies
+                # and anything absorbed from a cache.
+                self._learnt_store[owner] = learnt_export
+                self.learnts_collected += len(learnt_export[1])
             old = growth.get(owner, (0, 0))
             growth[owner] = (old[0] + grew[0], old[1] + grew[1])
             pending.discard(chunk_index)

@@ -33,6 +33,8 @@ from repro.core.checks import (
     LocalCheck,
     check_owner,
     generate_safety_checks,
+    group_checks_by_owner,
+    prepare_session,
     skipped_outcome,
 )
 from repro.core.parallel import WorkerPool, run_checks_in_processes
@@ -193,6 +195,11 @@ def run_checks(
             degradation.record_fallback(reason)
 
     if workers is not None and backend in ("auto", "process"):
+        if sessions is not None and sessions.seeds:
+            # Warm-start seeds staged on the caller's pool (e.g. restored
+            # from a workspace cache) belong to the worker processes when
+            # they are the ones discharging the checks.
+            workers.absorb_learnts(sessions.seeds)
         respawns = workers.worker_respawns
         redispatched = workers.chunks_redispatched
         quarantined = workers.checks_quarantined
@@ -243,6 +250,8 @@ def run_checks(
         with ThreadPoolExecutor(max_workers=jobs) as pool:
             return list(pool.map(_run_threaded, checks))
     pool = sessions if sessions is not None else SessionPool()
+    groups = group_checks_by_owner(checks)
+    prepared: set[int] = set()
     outcomes = []
     for check in checks:
         if run_deadline is not None and time.monotonic() >= run_deadline:
@@ -252,7 +261,14 @@ def run_checks(
         if run_deadline is not None:
             remaining = run_deadline - time.monotonic()
             effective = remaining if effective is None else min(effective, remaining)
-        session = pool.get(check_owner(check))
+        owner = check_owner(check)
+        session = pool.get(owner)
+        if id(session) not in prepared:
+            # First touch of this session in this run: install the shared
+            # preamble and import any pending warm-start seed.
+            prepared.add(id(session))
+            prepare_session(session, universe, groups[owner])
+            pool.try_seed(owner, session)
         outcomes.append(
             check.run(
                 config, universe, ghosts, conflict_budget,

@@ -24,14 +24,18 @@ or simply calling ``verify`` again — consults only the checks a config
 edit invalidated.
 
 **On-disk outcome cache.**  ``save(path)`` persists the digests, check
-lists, and outcomes of every tracker (not the solver state, which is
-cheap to rebuild per owner) in a versioned file keyed by a config+spec
-fingerprint; ``Workspace.load(path, config=...)`` restores them in a
-fresh process.  A second ``lightyear reverify --cache DIR`` invocation
-thus skips the base run entirely and consults only the edited owners'
-checks — the ROADMAP's daemonless cross-invocation amortization.  A cache
-whose fingerprint does not match the offered configuration or spec is
-rejected with :class:`WorkspaceCacheMismatch`.
+lists, and outcomes of every tracker — plus the per-owner solver state
+(kept learnt clauses with their preamble digests), so a later invocation
+warm-starts the *solver*, not just the outcome table — in a versioned
+file keyed by a config+spec fingerprint; ``Workspace.load(path,
+config=...)`` restores them in a fresh process.  A second ``lightyear
+reverify --cache DIR`` invocation thus skips the base run entirely,
+consults only the edited owners' checks, and re-solves them against the
+clauses the base run learned.  A cache whose fingerprint does not match
+the offered configuration or spec is rejected with
+:class:`WorkspaceCacheMismatch`; restored learnt clauses are additionally
+guarded by a content digest per owner session, so a divergent clause
+database refuses the transplant (counted, never unsound).
 
 The legacy entry points — ``verify_safety``/``verify_liveness`` free
 functions, the :class:`repro.core.engine.Lightyear` facade, and the two
@@ -61,6 +65,7 @@ from repro.core.properties import InvariantMap, LivenessProperty, SafetyProperty
 from repro.core.report import VerificationReport
 from repro.core.safety import BACKENDS
 from repro.lang.ghost import GhostAttribute
+from repro.smt.solver import solver_reuse_enabled
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from typing import Callable
@@ -74,7 +79,9 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
 # Bump whenever the pickled cache layout changes; a loader never guesses.
 # Format 2: CheckOutcome records ``unknown_reason`` (deadline/budget
 # attribution), so format-1 outcomes would deserialize incompletely.
-CACHE_FORMAT = 2
+# Format 3: adds the integrity-checked per-owner solver-state section
+# (kept learnt clauses keyed by preamble digest) for solver warm-start.
+CACHE_FORMAT = 3
 
 
 class WorkspaceCacheError(ValueError):
@@ -270,6 +277,12 @@ class Workspace(IncrementalSubstrate):
         self.ghosts = tuple(ghosts)
         self.stats = WorkspaceStats()
         self._entries: list[WorkspaceEntry] = []
+        # Solver warm-start restore counters (set by load()): learnt
+        # clauses and distinct owners restored from the cache's
+        # solver-state section.  Actual imports happen lazily at the next
+        # run and are counted on the sessions/pools themselves.
+        self.restored_learnts = 0
+        self.restored_learnt_owners = 0
 
     def __enter__(self) -> "Workspace":
         return self
@@ -480,15 +493,43 @@ class Workspace(IncrementalSubstrate):
 
     # -- persistence ---------------------------------------------------
 
+    def _solver_state(self) -> dict:
+        """Per-owner learnt exports from every substrate this run touched.
+
+        Sessions themselves are not picklable (term interning makes their
+        encodings process-local); what persists is the digest-guarded
+        learnt-clause export, replayable into a deterministically rebuilt
+        session.  Sources, freshest last: seeds loaded but never consumed,
+        the serial session pool's exports, and the worker pool's collected
+        per-owner store.  Empty when solver reuse is disabled.
+        """
+        if not solver_reuse_enabled():
+            return {}
+        solver_state: dict = dict(self.sessions.seeds)
+        solver_state.update(self.sessions.export_learnts())
+        workers = self._worker_pool
+        if workers is None and self._borrowed_workers is not None:
+            borrowed = self._borrowed_workers
+            # A callable supplier is only resolved lazily by runs; calling
+            # it here could *spawn* a pool at save time, so don't.
+            workers = None if callable(borrowed) else borrowed
+        if workers is not None:
+            solver_state.update(workers.learnt_snapshot())
+        return solver_state
+
     def save(self, path: str | os.PathLike) -> None:
-        """Persist digests, check lists, and outcomes to ``path``.
+        """Persist digests, check lists, outcomes, and solver state to ``path``.
 
         The file is versioned and fingerprinted by configuration digests,
         ghost definitions, and the registered spec; :meth:`load` refuses a
-        mismatch.  Solver sessions are deliberately not persisted — a
-        loaded workspace re-encodes only the owners a later edit touches,
-        which is the entire point of the owner index.
+        mismatch.  Solver *sessions* are not persisted (their encodings are
+        process-local); instead the per-owner learnt-clause exports ride
+        along as an integrity-checked blob, and :meth:`load` stages them as
+        seeds the next run imports — or refuses on a digest mismatch.
         """
+        solver_blob = pickle.dumps(
+            self._solver_state(), protocol=pickle.HIGHEST_PROTOCOL
+        )
         state = {
             "format": CACHE_FORMAT,
             "config_digests": config_digests(self.config),
@@ -500,6 +541,11 @@ class Workspace(IncrementalSubstrate):
                 {"kind": entry.kind, "state": entry.tracker.state_dict()}
                 for entry in self._entries
             ],
+            # Stored as pre-pickled bytes plus a content hash: a byte flip
+            # inside the blob would otherwise unpickle into a *valid* but
+            # wrong clause list and be injected silently.
+            "solver_state": solver_blob,
+            "solver_state_sha": hashlib.sha256(solver_blob).hexdigest(),
         }
         target = Path(path)
         target.parent.mkdir(parents=True, exist_ok=True)
@@ -636,9 +682,41 @@ class Workspace(IncrementalSubstrate):
                         tracker=tracker,
                     )
                 )
+            # Solver warm-start section: verify integrity, then stage the
+            # per-owner learnt exports as session seeds.  The next run
+            # imports each seed iff its preamble digest still matches the
+            # deterministically rebuilt clause DB.
+            blob = state["solver_state"]
+            sha = state["solver_state_sha"]
+            if (
+                not isinstance(blob, bytes)
+                or hashlib.sha256(blob).hexdigest() != sha
+            ):
+                raise WorkspaceCacheError(
+                    f"workspace cache at {path} is corrupt: solver-state "
+                    f"integrity check failed"
+                )
+            try:
+                solver_state = pickle.loads(blob)
+            except Exception as exc:
+                raise WorkspaceCacheError(
+                    f"workspace cache at {path} is corrupt: solver-state "
+                    f"section failed to load: {exc!r}"
+                ) from exc
+            if not isinstance(solver_state, dict):
+                raise WorkspaceCacheError(
+                    f"workspace cache at {path} is corrupt: solver-state "
+                    f"section has the wrong shape"
+                )
+            if solver_reuse_enabled():
+                for owner, export in solver_state.items():
+                    digest, clauses = export
+                    workspace.sessions.seed(owner, digest, clauses)
+                    workspace.restored_learnts += len(clauses)
+                workspace.restored_learnt_owners = len(solver_state)
         except WorkspaceCacheError:
             raise
-        except (KeyError, TypeError, AttributeError, IndexError) as exc:
+        except (KeyError, TypeError, AttributeError, IndexError, ValueError) as exc:
             raise WorkspaceCacheError(
                 f"workspace cache at {path} is corrupt: {exc!r}"
             ) from exc

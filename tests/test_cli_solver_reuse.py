@@ -1,0 +1,187 @@
+"""CLI solver warm-start (PR 7): cache-restored learnt clauses.
+
+The acceptance claim, counter-asserted across real process boundaries:
+a cold ``reverify --cache`` run persists per-owner solver state (learnt
+clauses plus preamble digests) alongside the outcome cache, and a warm
+run in a **fresh process** restores it and reports
+
+    ``solver reuse: restored N learnt clauses for M owners; K imported
+    into sessions``
+
+with ``N``, ``M`` and ``K`` all positive.  The workload is the WAN
+ip-reuse family — the one whose checks actually conflict and learn —
+expressed through the public config/spec JSON formats only.
+
+``--no-solver-reuse`` is the escape hatch: the line disappears and the
+saved solver state is ignored, with identical verification output.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bgp.configjson import config_to_json
+from repro.bgp.policy import Disposition, MatchPrefix, RouteMap, RouteMapClause
+from repro.bgp.prefix import PrefixRange
+from repro.bgp.topology import Edge
+from repro.cli import main
+from repro.lang.specjson import (
+    SafetySpec,
+    VerificationSpec,
+    location_to_str,
+    spec_to_json,
+)
+from repro.workloads.wan import build_wan
+from repro.workloads.wan_properties import ip_reuse_safety_problem
+
+REUSE_LINE = re.compile(
+    r"solver reuse: restored (\d+) learnt clauses for (\d+) owners; "
+    r"(\d+) imported into sessions"
+)
+
+
+def _wan_spec_json(wan, region: int = 0) -> str:
+    """The region-0 ip-reuse safety family as a public spec document."""
+    problem = ip_reuse_safety_problem(wan, region)
+    dc_edges = [
+        Edge(dc, router)
+        for dc, (dc_region, router) in wan.datacenters.items()
+        if dc_region == region
+    ]
+    spec = VerificationSpec(
+        ghost_docs=[
+            {
+                "name": f"FromRegion{region}",
+                "kind": "source",
+                "sources": [location_to_str(e) for e in dc_edges],
+            }
+        ],
+        safety=[
+            SafetySpec(
+                property=prop,
+                invariants_default=problem.invariants.default,
+                invariants_overrides=dict(problem.invariants._overrides),
+            )
+            for prop in problem.properties
+        ],
+    )
+    return spec_to_json(spec)
+
+
+def _benign_edit(config) -> None:
+    """Prepend a no-effect deny (unused prefix) to one router's import."""
+    router = sorted(config.routers)[0]
+    neighbor_name = sorted(config.routers[router].neighbors)[0]
+    neighbor = config.routers[router].neighbors[neighbor_name]
+    deny = RouteMapClause(
+        1,
+        Disposition.DENY,
+        matches=(MatchPrefix((PrefixRange.parse("203.0.113.0/24 le 32"),)),),
+    )
+    if neighbor.import_map is None:
+        neighbor.import_map = RouteMap("EDIT-IN", (deny,))
+    else:
+        neighbor.import_map = RouteMap(
+            neighbor.import_map.name, (deny,) + neighbor.import_map.clauses
+        )
+
+
+@pytest.fixture
+def wan_setup(tmp_path):
+    wan = build_wan(regions=2, routers_per_region=3)
+    (tmp_path / "base.json").write_text(config_to_json(wan.config))
+    edited = build_wan(regions=2, routers_per_region=3).config
+    _benign_edit(edited)
+    (tmp_path / "edited.json").write_text(config_to_json(edited))
+    (tmp_path / "spec.json").write_text(_wan_spec_json(wan))
+    return {
+        "base": str(tmp_path / "base.json"),
+        "edited": str(tmp_path / "edited.json"),
+        "spec": str(tmp_path / "spec.json"),
+        "cache": str(tmp_path / "cachedir"),
+    }
+
+
+def _cli_env():
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def test_warm_reverify_restores_learnt_clauses_across_processes(wan_setup):
+    s = wan_setup
+    env = _cli_env()
+    args = [sys.executable, "-m", "repro.cli", "reverify",
+            s["base"], s["edited"], s["spec"], "--cache", s["cache"]]
+
+    cold = subprocess.run(args, env=env, capture_output=True, text=True)
+    assert cold.returncode == 0, cold.stderr
+    assert "base run skipped" not in cold.stdout
+    assert "solver reuse: restored" not in cold.stdout
+
+    warm = subprocess.run(args, env=env, capture_output=True, text=True)
+    assert warm.returncode == 0, warm.stderr
+    assert "base run skipped" in warm.stdout
+    match = REUSE_LINE.search(warm.stdout)
+    assert match, f"missing solver-reuse line in:\n{warm.stdout}"
+    restored, owners, imported = map(int, match.groups())
+    assert restored > 0
+    assert owners > 0
+    assert imported > 0
+
+
+def test_no_solver_reuse_flag_suppresses_restore(wan_setup, capsys):
+    s = wan_setup
+    base_args = ["reverify", s["base"], s["edited"], s["spec"], "--cache", s["cache"]]
+    assert main(base_args) == 0
+    capsys.readouterr()
+
+    assert main(base_args + ["--no-solver-reuse"]) == 0
+    out = capsys.readouterr().out
+    assert "base run skipped" in out
+    assert "solver reuse: restored" not in out
+    assert "PASSED" in out
+
+
+def test_flag_does_not_leak_across_invocations(wan_setup, capsys):
+    # In-process main() calls share the module toggle; a --no-solver-reuse
+    # run must not disable reuse for the next plain run.
+    s = wan_setup
+    base_args = ["reverify", s["base"], s["edited"], s["spec"], "--cache", s["cache"]]
+    assert main(base_args + ["--no-solver-reuse"]) == 0
+    capsys.readouterr()
+    assert main(base_args) == 0
+    out = capsys.readouterr().out
+    assert REUSE_LINE.search(out)
+
+
+def test_warm_and_cold_reports_identical(wan_setup, capsys):
+    s = wan_setup
+    base_args = ["reverify", s["base"], s["edited"], s["spec"], "--cache", s["cache"]]
+    assert main(base_args) == 0
+    capsys.readouterr()
+
+    assert main(base_args) == 0
+    warm_out = capsys.readouterr().out
+    assert main(base_args + ["--no-solver-reuse"]) == 0
+    cold_out = capsys.readouterr().out
+
+    def reports(text):
+        # Keep the verdicts, drop the size stats: pre-asserting the
+        # preamble legitimately shifts per-check marginal vars/clauses.
+        return [
+            line.split(" — ")[0] for line in text.splitlines()
+            if "safety at" in line or "reverify: consulted" in line
+        ]
+
+    assert reports(warm_out) == reports(cold_out)
+    assert any("PASSED" in line for line in reports(warm_out))
