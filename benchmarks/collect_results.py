@@ -163,11 +163,16 @@ def table4(regions=6, routers_per_region=5, peers=3) -> None:
     )
 
 
-def _prior_baselines(json_path: str) -> dict[int, dict[str, float]]:
-    """Per-size wall times from earlier BENCH_PR*.json records, if present."""
-    baselines: dict[int, dict[str, float]] = {}
+def _prior_baselines(json_path: str) -> dict[int, dict[str, dict[str, float]]]:
+    """Per-size, per-mode wall times from every earlier BENCH_*.json record.
+
+    All modes are kept (not just serial) so the regression check can
+    compare like with like against the *best* prior result per mode — a
+    regression must not hide behind one already-slow predecessor record.
+    """
+    baselines: dict[int, dict[str, dict[str, float]]] = {}
     here = Path(json_path).resolve().parent
-    for prior in sorted(here.glob("BENCH_PR*.json")):
+    for prior in sorted(here.glob("BENCH_*.json")):
         if prior.name == Path(json_path).name:
             continue
         try:
@@ -177,9 +182,16 @@ def _prior_baselines(json_path: str) -> dict[int, dict[str, float]]:
         label = prior.stem.lower()  # e.g. "bench_pr1" -> "pr1"
         label = label.replace("bench_", "")
         for sweep in data.get("sweeps", []):
-            serial = sweep.get("wall_time_s", {}).get("serial")
-            if serial is not None:
-                baselines.setdefault(sweep["routers"], {})[label] = serial
+            walls = sweep.get("wall_time_s")
+            if not isinstance(walls, dict):
+                continue
+            per_mode = {
+                mode: float(wall)
+                for mode, wall in walls.items()
+                if isinstance(wall, (int, float))
+            }
+            if per_mode:
+                baselines.setdefault(sweep["routers"], {})[label] = per_mode
     return baselines
 
 
@@ -612,9 +624,32 @@ def perf_baseline(json_path: str, sizes=(25, 50), rounds: int = 3) -> dict:
             entry["speedup_vs_seed"] = {
                 mode: round(seed_wall / wall, 2) for mode, wall in timings.items()
             }
-        for label, wall in sorted(prior.get(n, {}).items()):
+        for label, walls in sorted(prior.get(n, {}).items()):
+            serial_wall = walls.get("serial")
+            if serial_wall is None:
+                continue
             entry[f"speedup_vs_{label}"] = {
-                mode: round(wall / t, 2) for mode, t in timings.items()
+                mode: round(serial_wall / t, 2) for mode, t in timings.items()
+            }
+        # The regression-proof comparison: per mode, the fastest any
+        # prior record ever ran this size.  Flagging keys off this entry,
+        # so one slow predecessor cannot mask a real slowdown.
+        best_prior: dict[str, tuple[str, float]] = {}
+        for label, walls in prior.get(n, {}).items():
+            for mode, wall in walls.items():
+                if mode not in best_prior or wall < best_prior[mode][1]:
+                    best_prior[mode] = (label, wall)
+        comparable = {
+            mode: best_prior[mode] for mode in timings if mode in best_prior
+        }
+        if comparable:
+            entry["best_prior"] = {
+                mode: {"record": label, "wall_time_s": wall}
+                for mode, (label, wall) in sorted(comparable.items())
+            }
+            entry["speedup_vs_best"] = {
+                mode: round(wall / timings[mode], 2)
+                for mode, (__, wall) in sorted(comparable.items())
             }
         record["sweeps"].append(entry)
     record["reverify"] = reverify_microbench()

@@ -1,0 +1,56 @@
+"""Baseline ratchet: known debt is tolerated, new debt is not.
+
+The baseline file (``lint-baseline.json``) holds the stable keys of
+findings that existed when the gate was turned on.  Findings whose key
+is in the baseline are reported but do not fail the run; findings whose
+key is not are *fresh* and fail it.  Baseline keys with no matching
+finding any more are *resolved*: the ratchet direction — the engine
+reports them so ``--update-baseline`` shrinks the file, and a baseline
+entry can never be silently resurrected as cover for a new violation at
+the same site (the key includes the symbol, so a genuinely new problem
+gets a new key).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+
+def load_baseline(path: Path | None) -> set[str]:
+    if path is None or not path.exists():
+        return set()
+    payload = json.loads(path.read_text())
+    if not isinstance(payload, dict) or not isinstance(payload.get("findings"), list):
+        raise ValueError(f"{path}: not a lint baseline file")
+    return {str(key) for key in payload["findings"]}
+
+
+def save_baseline(path: Path, findings: list[Finding]) -> None:
+    keys = sorted({finding.key() for finding in findings})
+    payload = {
+        "comment": (
+            "Known static-analysis debt, ratcheted: entries may be removed "
+            "(run `lightyear lint --update-baseline` after fixing), never "
+            "added by hand."
+        ),
+        "findings": keys,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def partition(
+    findings: list[Finding], baseline: set[str]
+) -> tuple[list[Finding], list[Finding], list[str]]:
+    """(fresh, baselined, resolved-keys) for the exit-code contract."""
+    fresh: list[Finding] = []
+    baselined: list[Finding] = []
+    seen: set[str] = set()
+    for finding in findings:
+        key = finding.key()
+        seen.add(key)
+        (baselined if key in baseline else fresh).append(finding)
+    resolved = sorted(baseline - seen)
+    return fresh, baselined, resolved

@@ -1,0 +1,94 @@
+"""Per-file fact cache keyed by content digest.
+
+The expensive half of a lint run is the per-file AST walk; its output
+(the checkers' facts) is pure in the file's bytes, so it caches cleanly:
+
+    key   = (path, sha256(file bytes), engine version, per-checker versions)
+    value = {checker id: facts}
+
+The whole cache is one JSON file (``lint-cache.json``); warm CI runs
+restore it via actions/cache and only re-extract files whose content or
+checker versions changed.  The analyze phase is never cached — it is
+cheap and depends on *every* file's facts, so caching it would need a
+project-wide key that any edit invalidates anyway.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+# Bump when the cache entry layout itself changes (checker extract
+# changes are covered by their own version numbers).
+CACHE_VERSION = 1
+
+
+def content_digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class FactCache:
+    """Load/store per-file extraction results in one JSON file."""
+
+    def __init__(self, cache_file: Path | None) -> None:
+        self._file = cache_file
+        self._entries: dict[str, dict[str, Any]] = {}
+        self._dirty = False
+        if cache_file is not None and cache_file.exists():
+            try:
+                payload = json.loads(cache_file.read_text())
+            except (OSError, ValueError):
+                payload = {}
+            if isinstance(payload, dict) and payload.get("version") == CACHE_VERSION:
+                entries = payload.get("files")
+                if isinstance(entries, dict):
+                    self._entries = entries
+
+    def lookup(
+        self, path: str, digest: str, checker_versions: dict[str, int]
+    ) -> dict[str, Any] | None:
+        """Cached facts for ``path`` iff digest and versions all match."""
+        entry = self._entries.get(path)
+        if entry is None or entry.get("digest") != digest:
+            return None
+        if entry.get("checker_versions") != _normalise(checker_versions):
+            return None
+        facts = entry.get("facts")
+        return facts if isinstance(facts, dict) else None
+
+    def store(
+        self,
+        path: str,
+        digest: str,
+        checker_versions: dict[str, int],
+        facts: dict[str, Any],
+    ) -> None:
+        self._entries[path] = {
+            "digest": digest,
+            "checker_versions": _normalise(checker_versions),
+            "facts": facts,
+        }
+        self._dirty = True
+
+    def prune(self, live_paths: set[str]) -> None:
+        """Drop entries for files that no longer exist in the target set."""
+        dead = [path for path in self._entries if path not in live_paths]
+        for path in dead:
+            del self._entries[path]
+            self._dirty = True
+
+    def save(self) -> None:
+        if self._file is None or not self._dirty:
+            return
+        self._file.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"version": CACHE_VERSION, "files": self._entries}
+        tmp = self._file.with_suffix(self._file.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        tmp.replace(self._file)
+        self._dirty = False
+
+
+def _normalise(checker_versions: dict[str, int]) -> dict[str, int]:
+    return {key: checker_versions[key] for key in sorted(checker_versions)}

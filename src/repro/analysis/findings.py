@@ -1,0 +1,75 @@
+"""Structured findings emitted by the static-analysis checkers.
+
+A :class:`Finding` is one diagnostic: where it is (``path:line``), which
+checker produced it, how bad it is, what is wrong, and — because a lint
+that only complains trains people to suppress it — a concrete fix hint.
+
+Findings carry a *stable key* (:meth:`Finding.key`) used by the baseline
+ratchet.  The key deliberately excludes the line number: moving code
+around must not convert known debt into "fresh" violations, otherwise
+every refactor fights the baseline.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How a finding affects the exit code.
+
+    ``ERROR`` findings fail the run (exit 1) unless baselined or
+    suppressed; ``WARNING`` findings are printed but never fail.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a checker."""
+
+    checker: str
+    path: str  # repo-relative, forward slashes
+    line: int  # 1-based; 0 = whole-file finding
+    message: str
+    hint: str = ""
+    severity: Severity = Severity.ERROR
+    # A short stable symbol (class/function/field name) the finding is
+    # about.  Part of the baseline key, so renaming the symbol counts as
+    # resolving the old finding and introducing a new one — which is what
+    # a ratchet should do.
+    symbol: str = ""
+
+    def key(self) -> str:
+        """Stable identity for baseline bookkeeping (line-independent)."""
+        return f"{self.checker}:{self.path}:{self.symbol or self.message}"
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}" if self.line else self.path
+
+    def render(self) -> str:
+        text = f"{self.location()}: {self.severity.value}[{self.checker}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run, partitioned for the exit-code contract."""
+
+    fresh: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    # Baseline keys with no matching finding any more: resolved debt the
+    # ratchet wants removed from the baseline file.
+    resolved: list[str] = field(default_factory=list)
+    files_analyzed: int = 0
+    files_from_cache: int = 0
+
+    @property
+    def failed(self) -> bool:
+        return any(f.severity is Severity.ERROR for f in self.fresh)

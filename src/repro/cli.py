@@ -21,6 +21,13 @@ Subcommands:
   Structurally compare two configurations and report which routers
   changed — the input to incremental re-verification.
 
+* ``lightyear lint [PATHS]``
+  Run the repo's own static-analysis pass (:mod:`repro.analysis`): four
+  checkers enforcing the verifier's soundness invariants — digest
+  coverage, pickle safety, deadline discipline, cache-format discipline
+  — with per-file caching, inline suppressions, and a committed
+  baseline ratchet.  Exits non-zero on any fresh finding.
+
 * ``lightyear reverify BASE EDITED SPEC``
   The incremental pipeline end to end: verify every property in the spec
   against ``BASE``, then re-verify against ``EDITED`` reusing everything
@@ -39,7 +46,8 @@ property has a counterexample; 2 usage, configuration, or cache errors;
 3 nothing failed outright but some checks are UNKNOWN (``--budget``,
 ``--deadline``, ``--wall-budget``) or execution degraded (worker
 crashes, serial fallbacks) — see the README's "Failure modes &
-degradation" section.
+degradation" section.  ``lint`` exits 0 clean, 1 on fresh findings (or
+resolved baseline entries pending a ratchet), 2 on usage errors.
 
 Example::
 
@@ -537,6 +545,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_rev.add_argument("--verbose", action="store_true")
     p_rev.set_defaults(func=_cmd_reverify)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the static-analysis pass over the repo's own sources",
+    )
+    from repro.analysis.cli import add_lint_arguments, run_from_args
+
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=run_from_args)
     return parser
 
 

@@ -50,7 +50,7 @@ import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.core.checks import check_owner, prepare_session, skipped_outcome
 from repro.lang.transfer import set_transfer_cache_enabled, transfer_cache_enabled
@@ -169,7 +169,10 @@ def run_checks_in_processes(
 
 
 def _persistent_worker_main(
-    task_queue, result_queue, worker_index: int = 0, fault_plan=None
+    task_queue: Any,
+    result_queue: Any,
+    worker_index: int = 0,
+    fault_plan: Any = None,
 ) -> None:
     """The loop a persistent worker runs for its whole life.
 
@@ -245,7 +248,13 @@ def _persistent_worker_main(
                 # budget and what is left of the run's wall budget
                 # (``run_deadline`` is absolute CLOCK_MONOTONIC, which is
                 # system-wide on Linux, so the parent's timestamp is
-                # directly comparable here).
+                # directly comparable here).  An already-expired budget
+                # short-circuits before encoding: without this, every
+                # remaining check in the chunk still paid its full setup
+                # cost only for the solve to time out instantly.
+                if run_deadline is not None and time.monotonic() >= run_deadline:
+                    pairs.append((index, skipped_outcome(check, "wall-budget")))
+                    continue
                 effective = deadline_s
                 if run_deadline is not None:
                     remaining = run_deadline - time.monotonic()
@@ -416,7 +425,7 @@ class WorkerPool:
         return True
 
     @staticmethod
-    def _reap(process, grace: float = 1.0) -> None:
+    def _reap(process: multiprocessing.process.BaseProcess, grace: float = 1.0) -> None:
         """terminate → kill escalation so no error path leaks a child."""
         try:
             process.terminate()
@@ -468,7 +477,7 @@ class WorkerPool:
     def __enter__(self) -> "WorkerPool":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- fault recovery ------------------------------------------------
@@ -527,7 +536,7 @@ class WorkerPool:
         except (OSError, EOFError, ValueError, IndexError):
             pass
 
-    def _drain_results(self, buffered: list) -> None:
+    def _drain_results(self, buffered: list[Any]) -> None:
         """Move any queued replies into ``buffered`` without blocking."""
         try:
             while self._results._reader.poll():
@@ -535,7 +544,12 @@ class WorkerPool:
         except (OSError, EOFError, AttributeError):
             pass
 
-    def _quiesce(self, dispatchers: list, buffered: list, timeout: float = 10.0) -> bool:
+    def _quiesce(
+        self,
+        dispatchers: list[threading.Thread],
+        buffered: list[Any],
+        timeout: float = 10.0,
+    ) -> bool:
         """Wait for every dispatcher thread to finish, keeping pipes moving.
 
         A dispatcher can be blocked on a dead worker's full task pipe, or
@@ -557,16 +571,16 @@ class WorkerPool:
 
     def _run_chunks_serially(
         self,
-        chunk_indices,
-        chunks,
-        outcomes,
-        pending,
-        config,
-        universe,
-        ghosts,
-        conflict_budget,
-        deadline_s,
-        run_deadline,
+        chunk_indices: "Iterable[int]",
+        chunks: "list[list[tuple[int, LocalCheck]]]",
+        outcomes: "list[CheckOutcome | None]",
+        pending: set[int],
+        config: "NetworkConfig",
+        universe: "AttributeUniverse",
+        ghosts: "tuple[GhostAttribute, ...]",
+        conflict_budget: int | None,
+        deadline_s: float | None,
+        run_deadline: float | None,
     ) -> None:
         """Discharge chunks in-parent (quarantined owners, lost causes).
 
@@ -610,7 +624,7 @@ class WorkerPool:
         universe: "AttributeUniverse",
         ghosts: tuple["GhostAttribute", ...],
         conflict_budget: int | None,
-    ) -> tuple:
+    ) -> tuple[object, ...]:
         """A hashable content identity for one problem context.
 
         Callers routinely rebuild equal configs (or edit one in place), so
@@ -696,7 +710,7 @@ class WorkerPool:
                 self._worker_load.get(worker_index, 0) + size
             )
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, object]:
         """Owner→worker load-balance telemetry (plus reuse counters).
 
         ``per_worker_weight`` is the total number of checks routed to each
@@ -705,7 +719,9 @@ class WorkerPool:
         multi-core scaling item wants recorded next to per-core curves.
         """
         loads = [self._worker_load.get(w, 0) for w in range(self.jobs)]
-        owners_per_worker: dict[int, list] = {w: [] for w in range(self.jobs)}
+        owners_per_worker: dict[int, list[str | None]] = {
+            w: [] for w in range(self.jobs)
+        }
         for owner, worker_index in self._owner_assignment.items():
             owners_per_worker[worker_index].append(owner)
         mean_load = sum(loads) / len(loads) if loads else 0.0
@@ -868,7 +884,7 @@ class WorkerPool:
                 config, universe, ghosts, conflict_budget, deadline_s, run_deadline,
             )
 
-        def _apply_reply(reply) -> "tuple[str, BaseException | None] | None":
+        def _apply_reply(reply: tuple[Any, ...]) -> "tuple[str, BaseException | None] | None":
             """Fold one worker reply into the run state.
 
             Returns None normally, or a terminal condition: ("machinery",

@@ -51,7 +51,7 @@ import pickle
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.bgp.config import NetworkConfig
 from repro.core.incremental import (
@@ -65,6 +65,7 @@ from repro.core.properties import InvariantMap, LivenessProperty, SafetyProperty
 from repro.core.report import VerificationReport
 from repro.core.safety import BACKENDS
 from repro.lang.ghost import GhostAttribute
+from repro.lang.predicates import Predicate
 from repro.smt.solver import solver_reuse_enabled
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
@@ -121,10 +122,12 @@ class WorkspaceEntry:
     property: SafetyProperty | LivenessProperty
     fingerprint: str
     tracker: SafetyTracker | LivenessTracker
-    last_result: object | None = None  # IncrementalResult | IncrementalLivenessResult
+    # IncrementalResult | IncrementalLivenessResult (typed dynamically:
+    # the two result families share only their report attribute).
+    last_result: Any = None
 
     @property
-    def report(self):
+    def report(self) -> Any:
         """The most recent run's report, if any."""
         return None if self.last_result is None else self.last_result.report
 
@@ -134,7 +137,9 @@ class WorkspaceEntry:
 # ---------------------------------------------------------------------------
 
 
-def _invariant_map_fp(invariants: InvariantMap | None):
+def _invariant_map_fp(
+    invariants: InvariantMap | None,
+) -> tuple[str, tuple[tuple[str, str], ...]] | None:
     """Canonical content of an invariant map (order-insensitive).
 
     Predicate ``repr``\\ s are content-determined dataclass renderings, so
@@ -154,7 +159,7 @@ def _invariant_map_fp(invariants: InvariantMap | None):
     )
 
 
-def _ghosts_fp(ghosts: tuple[GhostAttribute, ...]):
+def _ghosts_fp(ghosts: tuple[GhostAttribute, ...]) -> tuple[object, ...]:
     """Canonical, order-insensitive content of a ghost-attribute set."""
     return tuple(
         sorted(
@@ -171,7 +176,7 @@ def _ghosts_fp(ghosts: tuple[GhostAttribute, ...]):
 
 def _entry_fingerprint(
     kind: str,
-    prop,
+    prop: SafetyProperty | LivenessProperty,
     invariants: InvariantMap | None,
     interference_invariants: dict[str, InvariantMap] | None,
     conflict_budget: int | None,
@@ -194,7 +199,7 @@ def _entry_fingerprint(
     return hashlib.sha256(repr(payload).encode()).hexdigest()
 
 
-def _topology_fp(config: NetworkConfig) -> tuple:
+def _topology_fp(config: NetworkConfig) -> tuple[object, ...]:
     return (
         tuple(sorted(config.topology.routers)),
         tuple(sorted(config.topology.edges)),
@@ -287,7 +292,7 @@ class Workspace(IncrementalSubstrate):
     def __enter__(self) -> "Workspace":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- registration --------------------------------------------------
@@ -297,17 +302,23 @@ class Workspace(IncrementalSubstrate):
         """Every property registered so far, in registration order."""
         return tuple(self._entries)
 
-    def invariants(self, default=None) -> InvariantMap:
+    def invariants(self, default: Predicate | None = None) -> InvariantMap:
         """A fresh invariant map over this network's topology."""
         return InvariantMap(self.config.topology, default=default)
 
     def _normalize(
         self,
-        prop,
-        invariants: InvariantMap | None,
+        prop: SafetyProperty | LivenessProperty,
+        invariants: InvariantMap | dict[str, InvariantMap] | None,
         interference_invariants: dict[str, InvariantMap] | None,
         conflict_budget: int | None,
-    ) -> tuple[str, InvariantMap | None, dict | None, int | None, str]:
+    ) -> tuple[
+        str,
+        InvariantMap | None,
+        dict[str, InvariantMap] | None,
+        int | None,
+        str,
+    ]:
         """(kind, invariants, interference, budget, fingerprint) for a request."""
         budget = (
             conflict_budget if conflict_budget is not None else self.conflict_budget
@@ -343,8 +354,8 @@ class Workspace(IncrementalSubstrate):
 
     def _ensure_entry(
         self,
-        prop,
-        invariants: InvariantMap | None = None,
+        prop: SafetyProperty | LivenessProperty,
+        invariants: InvariantMap | dict[str, InvariantMap] | None = None,
         *,
         interference_invariants: dict[str, InvariantMap] | None = None,
         conflict_budget: int | None = None,
@@ -372,8 +383,8 @@ class Workspace(IncrementalSubstrate):
 
     def entry(
         self,
-        prop,
-        invariants: InvariantMap | None = None,
+        prop: SafetyProperty | LivenessProperty,
+        invariants: InvariantMap | dict[str, InvariantMap] | None = None,
         *,
         interference_invariants: dict[str, InvariantMap] | None = None,
         conflict_budget: int | None = None,
@@ -394,8 +405,8 @@ class Workspace(IncrementalSubstrate):
 
     def has_entry(
         self,
-        prop,
-        invariants: InvariantMap | None = None,
+        prop: SafetyProperty | LivenessProperty,
+        invariants: InvariantMap | dict[str, InvariantMap] | None = None,
         *,
         interference_invariants: dict[str, InvariantMap] | None = None,
         conflict_budget: int | None = None,
@@ -417,7 +428,7 @@ class Workspace(IncrementalSubstrate):
 
     # -- verification --------------------------------------------------
 
-    def _run_entry(self, entry: WorkspaceEntry, full: bool = False):
+    def _run_entry(self, entry: WorkspaceEntry, full: bool = False) -> Any:
         """Run one entry's tracker against the current config."""
         result = entry.tracker.run(self.config, full=full)
         entry.last_result = result
@@ -426,8 +437,8 @@ class Workspace(IncrementalSubstrate):
 
     def verify(
         self,
-        prop,
-        invariants: InvariantMap | None = None,
+        prop: SafetyProperty | LivenessProperty,
+        invariants: InvariantMap | dict[str, InvariantMap] | None = None,
         *,
         interference_invariants: dict[str, InvariantMap] | None = None,
         conflict_budget: int | None = None,
@@ -457,7 +468,7 @@ class Workspace(IncrementalSubstrate):
         )
         return self._run_entry(entry).report
 
-    def apply(self, edit: NetworkConfig) -> set:
+    def apply(self, edit: NetworkConfig) -> set[str]:
         """Stage an edited configuration for subsequent runs.
 
         Returns the set of changed digest keys (router names, plus the
@@ -493,7 +504,7 @@ class Workspace(IncrementalSubstrate):
 
     # -- persistence ---------------------------------------------------
 
-    def _solver_state(self) -> dict:
+    def _solver_state(self) -> dict[str, Any]:
         """Per-owner learnt exports from every substrate this run touched.
 
         Sessions themselves are not picklable (term interning makes their
@@ -505,7 +516,7 @@ class Workspace(IncrementalSubstrate):
         """
         if not solver_reuse_enabled():
             return {}
-        solver_state: dict = dict(self.sessions.seeds)
+        solver_state: dict[str, Any] = dict(self.sessions.seeds)
         solver_state.update(self.sessions.export_learnts())
         workers = self._worker_pool
         if workers is None and self._borrowed_workers is not None:
@@ -517,7 +528,7 @@ class Workspace(IncrementalSubstrate):
             solver_state.update(workers.learnt_snapshot())
         return solver_state
 
-    def save(self, path: str | os.PathLike) -> None:
+    def save(self, path: str | os.PathLike[str]) -> None:
         """Persist digests, check lists, outcomes, and solver state to ``path``.
 
         The file is versioned and fingerprinted by configuration digests,
@@ -568,7 +579,7 @@ class Workspace(IncrementalSubstrate):
     @classmethod
     def load(
         cls,
-        path: str | os.PathLike,
+        path: str | os.PathLike[str],
         config: NetworkConfig | None = None,
         ghosts: tuple[GhostAttribute, ...] | None = None,
         parallel: int | str | None = None,

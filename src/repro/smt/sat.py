@@ -318,6 +318,7 @@ class SatSolver:
         index = len(trail) - 1
         cur_level = len(self.trail_lim)
 
+        # repro: ignore[deadline-discipline] -- bounded: each iteration consumes one marked trail literal and the trail is finite
         while True:
             for q in reason:
                 if q == p:
@@ -694,6 +695,7 @@ class SatSolver:
 def _luby(i: int) -> int:
     """The Luby restart sequence 1,1,2,1,1,2,4,... (``i`` is 0-based)."""
     i += 1
+    # repro: ignore[deadline-discipline] -- terminating recurrence: i strictly decreases toward a power-of-two boundary
     while True:
         k = i.bit_length()
         if i == (1 << k) - 1:

@@ -28,7 +28,7 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Sequence
+from typing import Iterable, KeysView, Sequence
 
 from repro.smt import terms as T
 from repro.smt.bitblast import Bitblaster
@@ -101,10 +101,12 @@ class SolverStats:
 class Model:
     """A satisfying assignment, queried at the term level."""
 
-    def __init__(self, bool_values: dict[Term, bool], bv_values: dict[Term, int]):
+    def __init__(
+        self, bool_values: dict[Term, bool], bv_values: dict[Term, int]
+    ) -> None:
         self._bools = bool_values
         self._bvs = bv_values
-        self._memo: dict[Term, object] = {}
+        self._memo: dict[Term, bool | int] = {}
 
     def eval_bool(self, term: Term) -> bool:
         value = self._eval(term)
@@ -118,7 +120,7 @@ class Model:
             raise TypeError(f"{term!r} is not bit-vector-sorted")
         return value
 
-    def _eval(self, term: Term):
+    def _eval(self, term: Term) -> bool | int:
         """Evaluate a term, memoised over the DAG.
 
         Recursion is the fast path; if the DAG is deep enough to exhaust
@@ -150,7 +152,7 @@ class Model:
             memo[t] = self._eval_node(t)
             stack.pop()
 
-    def _eval_node(self, term: Term):
+    def _eval_node(self, term: Term) -> bool | int:
         """Evaluate one node whose children are already in the memo."""
         memo = self._memo
         if isinstance(term, T.BoolConst):
@@ -191,7 +193,7 @@ class Model:
             return memo[term.then] if memo[term.cond] else memo[term.els]
         raise TypeError(f"cannot evaluate {term!r}")
 
-    def _eval_rec(self, term: Term):
+    def _eval_rec(self, term: Term) -> bool | int:
         memo = self._memo
         if term in memo:
             return memo[term]
@@ -199,7 +201,7 @@ class Model:
         memo[term] = value
         return value
 
-    def _eval_rec_uncached(self, term: Term):
+    def _eval_rec_uncached(self, term: Term) -> bool | int:
         if isinstance(term, T.BoolConst):
             return term.value
         if isinstance(term, T.BoolVar):
@@ -753,7 +755,7 @@ class SessionPool:
     def clear(self) -> None:
         self._sessions.clear()
 
-    def keys(self):
+    def keys(self) -> KeysView[object]:
         return self._sessions.keys()
 
     def __len__(self) -> int:

@@ -1,0 +1,29 @@
+"""Shared helpers for the static-analysis test suite."""
+
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def lint():
+    """Run the lint engine over explicit paths with explicit options.
+
+    No cache, baseline, or manifest unless the test passes one — each
+    behaviour is exercised in isolation.
+    """
+    from repro.analysis.engine import LintOptions, run_lint
+
+    def run(root, paths=None, checkers=None, **kwargs):
+        options = LintOptions(
+            root=Path(root),
+            paths=[Path(p) for p in (paths or [root])],
+            checker_ids=list(checkers) if checkers is not None else None,
+            **kwargs,
+        )
+        return run_lint(options)
+
+    return run

@@ -1,0 +1,27 @@
+"""Cache-format fixture, version 1: the manifest is generated from this."""
+
+import pickle
+from dataclasses import dataclass
+
+CACHE_FORMAT = 1
+
+CACHE_SHAPE_TYPES = ("Payload",)
+
+
+@dataclass
+class Payload:
+    digests: dict
+    outcomes: list
+
+
+class Store:
+    def __init__(self, payload):
+        self.payload = payload
+
+    def state_dict(self):
+        return {"digests": self.payload.digests, "outcomes": self.payload.outcomes}
+
+    def save(self, path):
+        state = {"format": CACHE_FORMAT, "tracker": self.state_dict()}
+        with open(path, "wb") as handle:
+            pickle.dump(state, handle)

@@ -1,0 +1,22 @@
+"""Positive fixture: a deadline-free solver loop and an unguarded remainder.
+
+# repro: hot-path
+"""
+
+import time
+
+
+def search(clauses):
+    index = 0
+    while True:
+        index += 1
+        if not clauses:
+            return index
+
+
+def dispatch(checks, run_deadline):
+    results = []
+    for check in checks:
+        remaining = run_deadline - time.monotonic()
+        results.append(check.run(deadline_s=remaining))
+    return results

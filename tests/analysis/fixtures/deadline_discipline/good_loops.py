@@ -1,0 +1,37 @@
+"""Negative fixture: sampled, guarded, and suppressed-with-reason loops.
+
+# repro: hot-path
+"""
+
+import time
+
+
+def search(clauses, deadline):
+    index = 0
+    while True:
+        index += 1
+        if deadline is not None and time.monotonic() >= deadline:
+            return None
+        if not clauses:
+            return index
+
+
+def dispatch(checks, run_deadline):
+    results = []
+    for check in checks:
+        if run_deadline is not None and time.monotonic() >= run_deadline:
+            results.append(None)
+            continue
+        remaining = run_deadline - time.monotonic()
+        results.append(check.run(deadline_s=remaining))
+    return results
+
+
+def luby(i):
+    i += 1
+    # repro: ignore[deadline-discipline] -- terminating recurrence
+    while True:
+        k = i.bit_length()
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i -= (1 << (k - 1)) - 1

@@ -1,0 +1,8 @@
+"""Negative fixture: no hot-path marker, so unbounded loops are fine."""
+
+
+def poll_forever(queue):
+    while True:
+        message = queue.get()
+        if message is None:
+            return

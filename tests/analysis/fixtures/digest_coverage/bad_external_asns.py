@@ -1,0 +1,29 @@
+"""Regression fixture: the historical external_asns shape (PR 4).
+
+``Network`` computes per-router digests and a topology fingerprint
+exists elsewhere, but nothing anywhere digests ``external_asns`` — the
+exact omission that made ``reverify`` reuse stale outcomes.
+"""
+
+import hashlib
+
+
+class Network:
+    def __init__(self, topology):
+        self.topology = topology
+        self.routers = {}
+        self.external_asns = {}
+
+    def policy_digests(self):
+        return {name: rc.digest() for name, rc in self.routers.items()}
+
+
+def topology_fp(config):
+    return (
+        tuple(sorted(config.topology.routers)),
+        tuple(sorted(config.topology.edges)),
+    )
+
+
+def entry_fingerprint(kind, prop):
+    return hashlib.sha256(repr((kind, prop)).encode()).hexdigest()

@@ -1,0 +1,29 @@
+"""Negative fixture: the same shape with external_asns covered.
+
+A network-level digest function reads the field, so the class-blind
+project-wide union covers it (the post-PR-4 state of the real repo).
+"""
+
+import hashlib
+
+
+class Network:
+    def __init__(self, topology):
+        self.topology = topology
+        self.routers = {}
+        self.external_asns = {}
+
+    def policy_digests(self):
+        return {name: rc.digest() for name, rc in self.routers.items()}
+
+
+def topology_fp(config):
+    return (
+        tuple(sorted(config.topology.routers)),
+        tuple(sorted(config.topology.edges)),
+    )
+
+
+def network_digest(config):
+    canon = tuple(sorted(config.external_asns.items()))
+    return hashlib.sha256(repr(canon).encode()).hexdigest()

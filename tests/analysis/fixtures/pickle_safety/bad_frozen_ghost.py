@@ -1,0 +1,24 @@
+"""Regression fixture: the historical _FrozenGhost shape (PR 3).
+
+A class defined inside a function, subclassing a payload type — pickle
+serialises classes by reference, so the worker-side unpickle fails and
+the process backend silently degrades to serial.
+"""
+
+from dataclasses import dataclass
+
+PICKLE_ROOTS = ("GhostAttribute",)
+
+
+@dataclass(frozen=True)
+class GhostAttribute:
+    name: str
+    originated_value: bool
+
+
+def freeze(ghost):
+    @dataclass(frozen=True)
+    class _FrozenGhost(GhostAttribute):
+        frozen: bool = True
+
+    return _FrozenGhost(ghost.name, ghost.originated_value)

@@ -1,0 +1,26 @@
+"""Positive fixture: lambda defaults, bare __slots__, an open handle."""
+
+from dataclasses import dataclass, field
+
+PICKLE_ROOTS = ("Outcome",)
+
+
+@dataclass
+class Outcome:
+    check: "SlottedCheck"
+    log: "LogHolder"
+    notes: list = field(default_factory=lambda: [])
+
+
+class SlottedCheck:
+    __slots__ = ("kind", "edge")
+
+    def __init__(self, kind, edge):
+        self.kind = kind
+        self.edge = edge
+
+
+class LogHolder:
+    def __init__(self, path):
+        self.path = path
+        self.handle = open(path)

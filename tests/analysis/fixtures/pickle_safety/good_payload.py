@@ -1,0 +1,29 @@
+"""Negative fixture: the same shapes done picklably."""
+
+from dataclasses import dataclass, field
+
+PICKLE_ROOTS = ("Outcome",)
+
+
+def _fresh_notes() -> list:
+    return []
+
+
+@dataclass
+class Outcome:
+    check: "SlottedCheck"
+    notes: list = field(default_factory=_fresh_notes)
+
+
+class SlottedCheck:
+    __slots__ = ("kind", "edge")
+
+    def __init__(self, kind, edge):
+        self.kind = kind
+        self.edge = edge
+
+    def __getstate__(self):
+        return (self.kind, self.edge)
+
+    def __setstate__(self, state):
+        self.kind, self.edge = state

@@ -1,0 +1,114 @@
+"""The lint CLI: exit codes, the ratchet workflow, and the real repo gate."""
+
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CHECKER_IDS = (
+    "digest-coverage",
+    "pickle-safety",
+    "deadline-discipline",
+    "cache-format-discipline",
+)
+
+
+def _run(*argv):
+    return main([str(arg) for arg in argv])
+
+
+def test_clean_tree_exits_zero(tmp_path):
+    shutil.copy(FIXTURES / "digest_coverage" / "good_covered.py", tmp_path / "m.py")
+    assert _run("--root", tmp_path, "--no-cache", tmp_path) == 0
+
+
+def test_fresh_findings_exit_one(tmp_path, capsys):
+    shutil.copy(FIXTURES / "digest_coverage" / "bad_external_asns.py", tmp_path / "m.py")
+    assert _run("--root", tmp_path, "--no-cache", tmp_path) == 1
+    out = capsys.readouterr().out
+    assert "digest-coverage" in out
+    assert "m.py:" in out
+    assert "hint:" in out
+
+
+def test_missing_path_exits_two(tmp_path):
+    assert _run("--root", tmp_path, "--no-cache", tmp_path / "nope") == 2
+
+
+def test_unknown_checker_exits_two(tmp_path):
+    (tmp_path / "m.py").write_text("x = 1\n")
+    assert _run("--root", tmp_path, "--no-cache",
+                "--checker", "no-such-checker", tmp_path) == 2
+
+
+def test_list_checkers(capsys):
+    assert _run("--list-checkers") == 0
+    out = capsys.readouterr().out
+    for checker_id in CHECKER_IDS:
+        assert checker_id in out
+
+
+def test_ratchet_workflow_exit_codes(tmp_path):
+    target = tmp_path / "net.py"
+    shutil.copy(FIXTURES / "digest_coverage" / "bad_external_asns.py", target)
+    base = ("--root", tmp_path, "--no-cache", "--checker", "digest-coverage",
+            "--baseline", tmp_path / "baseline.json", tmp_path)
+
+    assert _run(*base) == 1                        # fresh violation
+    assert _run("--update-baseline", *base) == 0   # adopted as known debt
+    assert _run(*base) == 0                        # baselined: gate passes
+
+    shutil.copy(FIXTURES / "digest_coverage" / "good_covered.py", target)
+    assert _run(*base) == 1                        # resolved debt demands a ratchet
+    assert _run("--update-baseline", *base) == 0   # baseline shrinks
+    assert _run(*base) == 0
+
+
+def test_cache_dir_round_trip(tmp_path, capsys):
+    shutil.copy(FIXTURES / "digest_coverage" / "good_covered.py", tmp_path / "m.py")
+    base = ("--root", tmp_path, "--cache-dir", tmp_path / "cache", tmp_path)
+    assert _run(*base) == 0
+    assert _run(*base) == 0
+    out = capsys.readouterr().out
+    assert "(1 cached)" in out.splitlines()[-1]
+
+
+def test_repo_sources_pass_the_gate():
+    """The committed baseline + manifest keep src/repro clean — the same
+    invocation CI runs as a blocking job."""
+    assert _run("--root", REPO_ROOT, "--no-cache", REPO_ROOT / "src" / "repro") == 0
+
+
+def _module_env():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
+
+
+def test_python_dash_m_entry_point():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "--list-checkers"],
+        capture_output=True, text=True, env=_module_env(), cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0
+    assert "deadline-discipline" in proc.stdout
+
+
+def test_lightyear_lint_subcommand(tmp_path):
+    bad = tmp_path / "m.py"
+    shutil.copy(FIXTURES / "digest_coverage" / "bad_external_asns.py", bad)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "lint", "--root", str(tmp_path),
+         "--no-cache", str(tmp_path)],
+        capture_output=True, text=True, env=_module_env(), cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 1
+    assert "digest-coverage" in proc.stdout

@@ -1,0 +1,237 @@
+"""Framework behaviour: suppression syntax, the fact cache, the ratchet."""
+
+import json
+import shutil
+from pathlib import Path
+
+from repro.analysis.cache import CACHE_VERSION, FactCache, content_digest
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.suppressions import (
+    is_suppressed,
+    parse_suppressions,
+    suppression_index,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD_DIGEST = FIXTURES / "digest_coverage" / "bad_external_asns.py"
+GOOD_DIGEST = FIXTURES / "digest_coverage" / "good_covered.py"
+
+
+class TestSuppressionSyntax:
+    def test_same_line_suppression(self):
+        (supp,) = parse_suppressions(
+            "x = risky()  # repro: ignore[pickle-safety] -- closed in __exit__\n"
+        )
+        assert supp.line == supp.comment_line == 1
+        assert supp.checker_ids == ("pickle-safety",)
+        assert supp.reason == "closed in __exit__"
+
+    def test_standalone_comment_forwards_to_next_code_line(self):
+        source = (
+            "def f():\n"
+            "    # repro: ignore[deadline-discipline] -- trail is finite\n"
+            "\n"
+            "    while True:\n"
+            "        pass\n"
+        )
+        (supp,) = parse_suppressions(source)
+        assert supp.comment_line == 2
+        assert supp.line == 4  # the `while True:` line, past the blank
+
+    def test_multiple_ids_and_no_reason(self):
+        (supp,) = parse_suppressions("y = 1  # repro: ignore[a, b]\n")
+        assert supp.checker_ids == ("a", "b")
+        assert supp.reason == ""
+
+    def test_is_suppressed_matches_id_and_wildcard(self):
+        index = suppression_index(
+            "a = 1  # repro: ignore[digest-coverage] -- covered at runtime\n"
+            "b = 2  # repro: ignore[*] -- generated code\n"
+        )
+        assert is_suppressed(index, 1, "digest-coverage")
+        assert not is_suppressed(index, 1, "pickle-safety")
+        assert is_suppressed(index, 2, "pickle-safety")
+        assert not is_suppressed(index, 3, "digest-coverage")
+
+    def test_plain_comments_are_not_suppressions(self):
+        assert parse_suppressions("x = 1  # repro: this is just prose\n") == []
+
+    def test_reasonless_suppression_is_a_warning_not_a_failure(self, lint, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "x = 1  # repro: ignore[digest-coverage]\n"
+        )
+        result = lint(tmp_path)
+        (finding,) = result.fresh
+        assert finding.checker == "suppression"
+        assert finding.severity is Severity.WARNING
+        assert not result.failed  # warnings never fail the gate
+
+    def test_suppressed_findings_are_counted_not_dropped(self, lint, tmp_path):
+        source = BAD_DIGEST.read_text().replace(
+            "        self.external_asns = {}",
+            "        # repro: ignore[digest-coverage] -- covered by a runtime assert\n"
+            "        self.external_asns = {}",
+        )
+        (tmp_path / "net.py").write_text(source)
+        result = lint(tmp_path, checkers=["digest-coverage"])
+        assert result.fresh == []
+        assert len(result.suppressed) == 1
+
+
+class TestFactCache:
+    VERSIONS = {"digest-coverage": 1, "pickle-safety": 1}
+
+    def test_roundtrip_and_persistence(self, tmp_path):
+        cache_file = tmp_path / "lint-cache.json"
+        digest = content_digest(b"source")
+        cache = FactCache(cache_file)
+        cache.store("a.py", digest, self.VERSIONS, {"digest-coverage": {"k": 1}})
+        cache.save()
+        reloaded = FactCache(cache_file)
+        assert reloaded.lookup("a.py", digest, self.VERSIONS) == {
+            "digest-coverage": {"k": 1}
+        }
+
+    def test_content_change_misses(self, tmp_path):
+        cache = FactCache(None)
+        cache.store("a.py", content_digest(b"old"), self.VERSIONS, {})
+        assert cache.lookup("a.py", content_digest(b"new"), self.VERSIONS) is None
+
+    def test_checker_version_bump_misses(self, tmp_path):
+        cache = FactCache(None)
+        cache.store("a.py", content_digest(b"src"), self.VERSIONS, {})
+        bumped = dict(self.VERSIONS, **{"digest-coverage": 2})
+        assert cache.lookup("a.py", content_digest(b"src"), bumped) is None
+
+    def test_cache_layout_version_mismatch_discards_file(self, tmp_path):
+        cache_file = tmp_path / "lint-cache.json"
+        cache_file.write_text(json.dumps(
+            {"version": CACHE_VERSION + 1,
+             "files": {"a.py": {"digest": "d", "checker_versions": {}, "facts": {}}}}
+        ))
+        assert FactCache(cache_file).lookup("a.py", "d", {}) is None
+
+    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+        cache_file = tmp_path / "lint-cache.json"
+        cache_file.write_text("{broken")
+        assert FactCache(cache_file).lookup("a.py", "d", {}) is None
+
+    def test_prune_drops_dead_entries(self, tmp_path):
+        cache_file = tmp_path / "lint-cache.json"
+        digest = content_digest(b"x")
+        cache = FactCache(cache_file)
+        cache.store("dead.py", digest, {}, {})
+        cache.store("live.py", digest, {}, {})
+        cache.prune({"live.py"})
+        cache.save()
+        reloaded = FactCache(cache_file)
+        assert reloaded.lookup("dead.py", digest, {}) is None
+        assert reloaded.lookup("live.py", digest, {}) == {}
+
+
+class TestEngineCaching:
+    def test_warm_run_hits_and_edit_invalidates(self, lint, tmp_path):
+        for name in ("bad_external_asns.py", "good_covered.py"):
+            shutil.copy(FIXTURES / "digest_coverage" / name, tmp_path / name)
+        cache_file = tmp_path / "cache" / "lint-cache.json"
+
+        cold = lint(tmp_path, cache_file=cache_file)
+        assert (cold.files_analyzed, cold.files_from_cache) == (2, 0)
+
+        warm = lint(tmp_path, cache_file=cache_file)
+        assert (warm.files_analyzed, warm.files_from_cache) == (2, 2)
+        assert {f.key() for f in warm.fresh} == {f.key() for f in cold.fresh}
+
+        edited = (tmp_path / "good_covered.py").read_text() + "\n# touched\n"
+        (tmp_path / "good_covered.py").write_text(edited)
+        mixed = lint(tmp_path, cache_file=cache_file)
+        assert (mixed.files_analyzed, mixed.files_from_cache) == (2, 1)
+
+    def test_parse_error_is_a_finding_not_a_crash(self, lint, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        result = lint(tmp_path)
+        (finding,) = result.fresh
+        assert finding.checker == "parse-error"
+        assert "syntax error" in finding.message
+
+
+class TestBaselineRatchet:
+    def test_fresh_then_baselined_then_resolved(self, lint, tmp_path):
+        target = tmp_path / "net.py"
+        shutil.copy(BAD_DIGEST, target)
+        baseline = tmp_path / "baseline.json"
+        opts = dict(checkers=["digest-coverage"], baseline_file=baseline)
+
+        first = lint(tmp_path, **opts)
+        assert first.failed and len(first.fresh) == 1
+
+        adopted = lint(tmp_path, update_baseline=True, **opts)
+        assert not adopted.failed and len(adopted.baselined) == 1
+        assert json.loads(baseline.read_text())["findings"] == [
+            "digest-coverage:net.py:Network.external_asns"
+        ]
+
+        # Known debt passes the gate but stays visible.
+        again = lint(tmp_path, **opts)
+        assert not again.failed
+        assert len(again.baselined) == 1 and again.fresh == []
+
+        # Fixing the debt leaves a resolved entry: the ratchet.
+        shutil.copy(GOOD_DIGEST, target)
+        fixed = lint(tmp_path, **opts)
+        assert fixed.fresh == [] and fixed.baselined == []
+        assert fixed.resolved == ["digest-coverage:net.py:Network.external_asns"]
+
+        ratcheted = lint(tmp_path, update_baseline=True, **opts)
+        assert ratcheted.resolved == []
+        assert json.loads(baseline.read_text())["findings"] == []
+
+    def test_baseline_does_not_cover_new_findings_at_other_sites(self, lint, tmp_path):
+        shutil.copy(BAD_DIGEST, tmp_path / "net.py")
+        baseline = tmp_path / "baseline.json"
+        opts = dict(checkers=["digest-coverage"], baseline_file=baseline)
+        lint(tmp_path, update_baseline=True, **opts)
+
+        # A second, distinct gap gets a new key and fails the run even
+        # though the first one is baselined.
+        source = (tmp_path / "net.py").read_text().replace(
+            "        self.external_asns = {}",
+            "        self.external_asns = {}\n        self.bgp_timers = {}",
+        )
+        (tmp_path / "net.py").write_text(source)
+        result = lint(tmp_path, **opts)
+        assert result.failed
+        assert [f.key() for f in result.fresh] == [
+            "digest-coverage:net.py:Network.bgp_timers"
+        ]
+        assert len(result.baselined) == 1
+
+    def test_baseline_keys_are_line_independent(self, lint, tmp_path):
+        shutil.copy(BAD_DIGEST, tmp_path / "net.py")
+        baseline = tmp_path / "baseline.json"
+        opts = dict(checkers=["digest-coverage"], baseline_file=baseline)
+        lint(tmp_path, update_baseline=True, **opts)
+
+        # Shift every line down; the finding key must still match.
+        (tmp_path / "net.py").write_text(
+            "# moved\n# moved\n" + (tmp_path / "net.py").read_text()
+        )
+        result = lint(tmp_path, **opts)
+        assert not result.failed and len(result.baselined) == 1
+
+
+def test_finding_render_and_key():
+    finding = Finding(
+        checker="digest-coverage",
+        path="src/repro/bgp/config.py",
+        line=42,
+        message="field not digested",
+        hint="add it",
+        symbol="NetworkConfig.external_asns",
+    )
+    assert finding.key() == (
+        "digest-coverage:src/repro/bgp/config.py:NetworkConfig.external_asns"
+    )
+    rendered = finding.render()
+    assert "src/repro/bgp/config.py:42" in rendered
+    assert "digest-coverage" in rendered
