@@ -22,7 +22,11 @@ witness for unchanged owners).  ``BENCH_PR5.json`` adds the
 cross-process warm-start section: a cold ``lightyear verify --cache``
 (verify + save) against a fresh-process ``lightyear reverify --cache``
 that loads the on-disk outcome cache, skips the base run, and consults
-only the edited owner's checks.
+only the edited owner's checks.  ``BENCH_PR9.json`` adds two
+execution-runtime sections: ``scheduler_overhead`` (the one-group-plan
+scheduler path vs. a hand-rolled pre-refactor serial loop; flagged if
+the overhead exceeds 5%) and ``liveness_pipelining`` (the staged §5 plan
+with the interference barrier removed vs. the legacy barriered order).
 """
 
 from __future__ import annotations
@@ -522,9 +526,154 @@ def solver_reuse_microbench(n: int = 50, rounds: int = 3) -> dict:
     }
 
 
+def scheduler_overhead_microbench(n: int = 50, rounds: int = 7) -> dict:
+    """PR 9: the plan/scheduler layer vs. a hand-rolled serial loop.
+
+    ``run_checks`` is now a one-group :class:`CheckPlan` dispatched by the
+    :class:`Scheduler`; this measures what that indirection costs on the
+    fullmesh N no-transit sweep against a direct re-implementation of the
+    pre-refactor serial path (owner-grouped shared sessions, per-owner
+    preamble preparation, hermetically identical outcomes).  Both sides
+    run cold (fresh :class:`SessionPool` per round); the recorded
+    ``overhead_fraction`` is flagged as a regression above 5%.
+    """
+    from repro.core.checks import (
+        check_owner,
+        generate_safety_checks,
+        group_checks_by_owner,
+        prepare_session,
+    )
+    from repro.core.safety import build_universe, run_checks
+
+    def direct_reference(checks, config, universe, ghosts, sessions):
+        # The pre-refactor serial path, verbatim: shared per-owner
+        # sessions, group-granular preamble preparation, input order.
+        owner_groups = group_checks_by_owner(checks)
+        prepared: set[int] = set()
+        outcomes = []
+        for check in checks:
+            owner = check_owner(check)
+            session = sessions.get(owner)
+            if id(session) not in prepared:
+                prepared.add(id(session))
+                prepare_session(session, universe, owner_groups[owner])
+                sessions.try_seed(owner, session)
+            outcomes.append(
+                check.run(config, universe, ghosts, None, session=session)
+            )
+        return outcomes
+
+    best_direct = best_scheduler = None
+    num_checks = 0
+    for __ in range(rounds):
+        reset_transfer_cache()
+        config, ghost, prop, invariants = fullmesh_problem(n)
+        universe = build_universe(config, invariants, [prop.predicate], (ghost,))
+        checks = generate_safety_checks(
+            config, invariants, prop.location, prop.predicate
+        )
+        num_checks = len(checks)
+
+        start = time.perf_counter()
+        reference = direct_reference(checks, config, universe, (ghost,), SessionPool())
+        t_direct = time.perf_counter() - start
+        assert all(o.passed for o in reference)
+
+        start = time.perf_counter()
+        outcomes = run_checks(
+            checks, config, universe, (ghost,), sessions=SessionPool()
+        )
+        t_scheduler = time.perf_counter() - start
+        assert [str(o.check) for o in outcomes] == [
+            str(o.check) for o in reference
+        ]
+        assert all(o.passed for o in outcomes)
+
+        best_direct = t_direct if best_direct is None else min(best_direct, t_direct)
+        best_scheduler = (
+            t_scheduler
+            if best_scheduler is None
+            else min(best_scheduler, t_scheduler)
+        )
+    return {
+        "workload": f"fullmesh N={n} no-transit safety (one-group plan, serial)",
+        "routers": n,
+        "num_checks": num_checks,
+        "direct_loop_wall_time_s": round(best_direct, 4),
+        "scheduler_wall_time_s": round(best_scheduler, 4),
+        "overhead_fraction": round(best_scheduler / best_direct - 1.0, 4),
+    }
+
+
+def liveness_pipelining_microbench(n: int = 12, rounds: int = 3) -> dict:
+    """PR 9: the §5 stage barrier removed vs. the legacy barriered order.
+
+    ``liveness_plan(pipelined=True)`` schedules the no-interference
+    sub-proofs in the same dispatch round as the propagation checks (only
+    the implication waits on propagation), where the pre-PR-9 order
+    barriered them behind the implication.  Outcomes are identical — the
+    differential suite pins that — so this records the structural change
+    (dispatch rounds 3 → 2) and the wall-clock delta.  On a serial or
+    single-core host the delta is expected to be ~1.0: the win is
+    batch-level parallelism headroom, not less work.
+    """
+    from repro.core.exec import ExecutionContext, Scheduler
+    from repro.core.liveness import (
+        generate_liveness_checks,
+        liveness_plan,
+        liveness_universe,
+    )
+
+    class CountingScheduler(Scheduler):
+        def __init__(self, context):
+            super().__init__(context)
+            self.batches = 0
+
+        def _dispatch(self, batch, degradation):
+            self.batches += 1
+            return super()._dispatch(batch, degradation)
+
+    prop = full_mesh_liveness_property(n)
+    walls: dict[str, float] = {}
+    batches: dict[str, int] = {}
+    num_checks = 0
+    for label, pipelined in (("pipelined", True), ("barriered", False)):
+        best = None
+        for __ in range(rounds):
+            reset_transfer_cache()
+            config = build_full_mesh(n)
+            universe = liveness_universe(config, prop)
+            checks = generate_liveness_checks(config, prop)
+            plan = liveness_plan(checks, pipelined=pipelined)
+            context = ExecutionContext(None, "auto", None, None, None, autopool=False)
+            scheduler = CountingScheduler(context)
+            start = time.perf_counter()
+            result = scheduler.run(plan, config, universe)
+            elapsed = time.perf_counter() - start
+            assert all(o.passed for o in result.outcomes)
+            num_checks = len(result.outcomes)
+            batches[label] = scheduler.batches
+            best = elapsed if best is None else min(best, elapsed)
+        walls[label] = round(best, 4)
+    return {
+        "workload": f"fullmesh N={n} short-prefix liveness (staged §5 plan)",
+        "routers": n,
+        "num_checks": num_checks,
+        "wall_time_s": walls,
+        "dispatch_rounds": batches,
+        "barrier_removal_speedup": round(
+            walls["barriered"] / walls["pipelined"], 2
+        ),
+    }
+
+
 #: A prior-PR speedup below this ratio is called out as a regression in
 #: the recorded JSON and on stderr.
 REGRESSION_FLOOR = 0.95
+
+#: Scheduler indirection above this fraction of the direct-loop wall time
+#: is called out as a regression.
+SCHEDULER_OVERHEAD_CEILING = 0.05
 
 
 def _flag_regressions(record: dict) -> list[str]:
@@ -540,14 +689,23 @@ def _flag_regressions(record: dict) -> list[str]:
                         f"routers={sweep['routers']} {mode}: {key} = {ratio} "
                         f"(< {REGRESSION_FLOOR})"
                     )
+    overhead = record.get("scheduler_overhead", {}).get("overhead_fraction")
+    if overhead is not None and overhead > SCHEDULER_OVERHEAD_CEILING:
+        flagged.append(
+            f"scheduler overhead_fraction = {overhead} "
+            f"(> {SCHEDULER_OVERHEAD_CEILING})"
+        )
     return flagged
 
 
-def perf_baseline(json_path: str, sizes=(25, 50), rounds: int = 3) -> dict:
+def perf_baseline(json_path: str, sizes=(25, 50), rounds: int = 5) -> dict:
     """Measure the fullmesh safety sweeps and write a JSON trajectory record.
 
     For each network size the sweep runs ``rounds`` times serially (shared
-    sessions) and once per extra backend; best-of wall times are compared
+    sessions) and once per extra backend (best-of-5 since PR 9 — the
+    recording host's VM timing jitter swings single runs by 10-30%, and
+    three rounds were not reliably finding the quiet-window minimum);
+    best-of wall times are compared
     against :data:`SEED_BASELINE_WALL_S` and any earlier ``BENCH_PR*.json``
     records next to ``json_path``.  Term-construction cache counters and a
     reverify micro-benchmark ride along.
@@ -657,6 +815,8 @@ def perf_baseline(json_path: str, sizes=(25, 50), rounds: int = 3) -> dict:
     record["liveness_reverify"] = liveness_reverify_microbench()
     record["workspace_cache"] = workspace_warm_start()
     record["solver_reuse"] = solver_reuse_microbench()
+    record["scheduler_overhead"] = scheduler_overhead_microbench()
+    record["liveness_pipelining"] = liveness_pipelining_microbench()
     regressions = _flag_regressions(record)
     if regressions:
         record["regressions"] = regressions

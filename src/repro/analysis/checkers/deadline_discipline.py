@@ -30,11 +30,14 @@ import ast
 from repro.analysis.findings import Finding
 from repro.analysis.registry import Checker, Project, register
 
-#: Hot-path files: the solver core and the parallel execution layer.
+#: Hot-path files: the solver core and the execution runtime (the process
+#: transport plus the backends computing per-check deadline remainders;
+#: the scheduler module opts in via the ``# repro: hot-path`` marker).
 HOT_PATH_SUFFIXES = (
     "repro/smt/sat.py",
     "repro/smt/solver.py",
-    "repro/core/parallel.py",
+    "repro/core/exec/pool.py",
+    "repro/core/exec/backends.py",
 )
 
 HOT_PATH_MARKER = "# repro: hot-path"

@@ -49,6 +49,13 @@ crashes, serial fallbacks) — see the README's "Failure modes &
 degradation" section.  ``lint`` exits 0 clean, 1 on fresh findings (or
 resolved baseline entries pending a ratchet), 2 on usage errors.
 
+Every subcommand executes through the unified runtime in
+:mod:`repro.core.exec`: the workspace's trackers build staged
+``CheckPlan``\\ s and one ``Scheduler`` dispatches them on the selected
+backend.  The ``REPRO_BACKEND`` environment variable overrides backend
+selection for ``auto`` runs with no explicit worker pool (CI uses
+``REPRO_BACKEND=thread`` to exercise the non-default backend).
+
 Example::
 
     lightyear verify network.cfg properties.json --jobs auto --verbose
@@ -151,7 +158,13 @@ def _parse_seconds(value: str) -> float:
 
 
 def _resolve_backend(args: argparse.Namespace) -> tuple[int | str | None, str]:
-    """Map the --jobs/--parallel flags to (parallel, backend), as verify does."""
+    """Map the --jobs/--parallel flags to (parallel, backend), as verify does.
+
+    With neither flag, the backend stays ``"auto"`` and the execution
+    context applies the ``REPRO_BACKEND`` environment override (if any)
+    at dispatch time — see :meth:`repro.core.exec.ExecutionContext.
+    resolved_backend`.
+    """
     if args.jobs is not None:
         return args.jobs, "process"
     if getattr(args, "parallel", None):

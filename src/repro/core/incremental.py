@@ -49,14 +49,19 @@ from repro.bgp.config import NetworkConfig
 from repro.core.checks import (
     CheckOutcome,
     LocalCheck,
-    check_owner,
     generate_safety_checks,
     group_checks_by_owner,
 )
-from repro.core.parallel import WorkerPool
+from repro.core.exec import (
+    CheckGroup,
+    CheckPlan,
+    ExecutionContext,
+    Scheduler,
+    WorkerPool,
+)
 from repro.core.properties import InvariantMap, SafetyProperty
 from repro.core.report import DegradationReport
-from repro.core.safety import SafetyReport, build_universe, resolve_jobs, run_checks
+from repro.core.safety import SafetyReport, build_universe
 from repro.lang.ghost import GhostAttribute
 from repro.lang.universe import AttributeUniverse
 from repro.smt.solver import SessionPool
@@ -125,103 +130,10 @@ def topology_changed(old: NetworkConfig, new: NetworkConfig) -> bool:
     )
 
 
-class IncrementalSubstrate:
-    """Shared pool plumbing for workspaces and the incremental verifiers.
-
-    Owns (or borrows) the persistent reuse substrate: an owner-keyed
-    :class:`SessionPool` and an optional :class:`WorkerPool` (or a lazy
-    supplier of one, like ``Workspace._workers``).
-    :class:`repro.core.workspace.Workspace` inherits this, so
-    pool-lifecycle fixes land in exactly one place.
-    """
-
-    def __init__(
-        self,
-        parallel: int | str | None,
-        backend: str,
-        conflict_budget: int | None,
-        sessions: SessionPool | None,
-        workers: "WorkerPool | Callable[[], WorkerPool | None] | None",
-        deadline_s: float | None = None,
-        wall_budget_s: float | None = None,
-    ) -> None:
-        self.parallel = parallel
-        self.backend = backend
-        self.conflict_budget = conflict_budget
-        self.deadline_s = deadline_s
-        self.wall_budget_s = wall_budget_s
-        # An absolute time.monotonic() deadline for the run in flight.
-        # Normally derived per run from ``wall_budget_s``; callers that
-        # want one budget to span several runs (the CLI spanning every
-        # spec property) pin it with :meth:`set_run_deadline`.
-        self._run_deadline: float | None = None
-        self._external_deadline = False
-        self.sessions = sessions if sessions is not None else SessionPool()
-        self._owns_sessions = sessions is None
-        # ``workers`` lends an externally owned pool; the substrate then
-        # never creates or closes worker processes itself.
-        self._borrowed_workers = workers
-        self._worker_pool: WorkerPool | None = None
-
-    def set_run_deadline(self, deadline: float | None) -> None:
-        """Pin an absolute ``time.monotonic()`` deadline across runs.
-
-        Until cleared (pass ``None``), every tracker run checks against
-        this single deadline instead of deriving a fresh one from
-        ``wall_budget_s`` — how one ``--wall-budget`` spans all the
-        properties of one CLI invocation.
-        """
-        self._run_deadline = deadline
-        self._external_deadline = deadline is not None
-
-    def _begin_run_deadline(self) -> float | None:
-        """The run deadline a tracker run should enforce, refreshed.
-
-        With an externally pinned deadline, that; otherwise a fresh
-        ``now + wall_budget_s`` per run (or ``None`` without a budget).
-        """
-        if self._external_deadline:
-            return self._run_deadline
-        self._run_deadline = (
-            None
-            if self.wall_budget_s is None
-            else time.monotonic() + self.wall_budget_s
-        )
-        return self._run_deadline
-
-    def _workers(self) -> WorkerPool | None:
-        if self._borrowed_workers is not None:
-            if callable(self._borrowed_workers):
-                return self._borrowed_workers()
-            return self._borrowed_workers
-        if self.backend not in ("auto", "process"):
-            return None
-        if resolve_jobs(self.parallel) < 2:
-            return None
-        if self._worker_pool is None:
-            self._worker_pool = WorkerPool(resolve_jobs(self.parallel))
-        return self._worker_pool
-
-    def close(self) -> None:
-        """Release the owned worker pool (borrowed pools stay untouched)."""
-        if self._worker_pool is not None:
-            self._worker_pool.close()
-            self._worker_pool = None
-
-    def _reset_substrate(self) -> None:
-        """Drop cached encodings after a topology change.
-
-        Session reuse is always *sound* (databases are definitional and
-        checks solve under assumptions), so this is purely a memory
-        measure — and therefore must not touch a **borrowed** pool, whose
-        other users (the engine, sibling verifiers) still want their
-        encodings.  An owned worker pool is released outright; a borrowed
-        one keeps running — its contexts are content-fingerprinted, so the
-        new topology simply ships as a new context.
-        """
-        if self._owns_sessions:
-            self.sessions.clear()
-        self.close()
+# The shared pool plumbing formerly defined here as IncrementalSubstrate
+# now lives in :class:`repro.core.exec.context.ExecutionContext`; the old
+# name remains importable for existing callers and pickled references.
+IncrementalSubstrate = ExecutionContext
 
 
 @dataclass
@@ -419,10 +331,16 @@ class SafetyTracker:
                 owner for owner in groups if owner not in self._outcomes_by_owner
             }
 
-        to_run: list[LocalCheck] = []
-        for owner in groups:
-            if owner in rerun_owners:
-                to_run.extend(groups[owner])
+        # The reverify plan: one group per invalidated owner, in group
+        # order — "reverify after an edit" is just a smaller plan than
+        # "full verify", and the scheduler does not care which it got.
+        plan = CheckPlan(
+            groups=tuple(
+                CheckGroup(("safety", owner), tuple(groups[owner]), "reverify")
+                for owner in groups
+                if owner in rerun_owners
+            ),
+        )
         cached: list[CheckOutcome] = []
         for owner in groups:
             if owner not in rerun_owners:
@@ -430,25 +348,21 @@ class SafetyTracker:
 
         substrate = self.substrate
         degradation = DegradationReport()
-        fresh = run_checks(
-            to_run,
+        result = Scheduler(substrate).run(
+            plan,
             config,
             universe,
             self.ghosts,
-            parallel=substrate.parallel,
             conflict_budget=self.conflict_budget,
-            backend=substrate.backend,
-            sessions=substrate.sessions,
-            workers=substrate._workers(),
-            deadline_s=substrate.deadline_s,
             run_deadline=substrate._begin_run_deadline(),
             degradation=degradation,
         )
-        fresh_by_owner: dict[str | None, list[CheckOutcome]] = {}
-        for check, outcome in zip(to_run, fresh):
-            fresh_by_owner.setdefault(check_owner(check), []).append(outcome)
+        fresh = result.outcomes
         for owner in rerun_owners:
-            self._outcomes_by_owner[owner] = fresh_by_owner.get(owner, [])
+            key = ("safety", owner)
+            self._outcomes_by_owner[owner] = (
+                result.group(key) if key in result.results else []
+            )
         self._digests = new_digests
         self._ran = True
 
@@ -462,7 +376,7 @@ class SafetyTracker:
             report=report,
             rerun_checks=len(fresh),
             cached_checks=len(cached),
-            checks_consulted=len(to_run),
+            checks_consulted=plan.num_checks,
         )
 
 

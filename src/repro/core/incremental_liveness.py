@@ -39,6 +39,12 @@ from repro.core.checks import (
     generate_safety_checks,
     group_checks_by_owner,
 )
+from repro.core.exec import (
+    CheckGroup,
+    CheckPlan,
+    Scheduler,
+    WorkerPool,
+)
 from repro.core.incremental import (
     DeprecatedVerifierShim,
     IncrementalSubstrate,
@@ -51,10 +57,9 @@ from repro.core.liveness import (
     generate_propagation_checks,
     liveness_universe,
 )
-from repro.core.parallel import WorkerPool
 from repro.core.properties import InvariantMap, LivenessProperty, SafetyProperty
 from repro.core.report import DegradationReport
-from repro.core.safety import SafetyReport, run_checks
+from repro.core.safety import SafetyReport
 from repro.lang.ghost import GhostAttribute
 from repro.lang.universe import AttributeUniverse
 from repro.smt.solver import SessionPool
@@ -284,59 +289,55 @@ class LivenessTracker:
                 rerun_sub[router] = {o for o in changed if o in groups}
                 rerun_sub[router] |= {o for o in groups if o not in cached}
 
-        # One batched run_checks call for everything invalidated: the slots
-        # map each outcome back to its cache cell, and a single call lets
-        # the worker pool overlap chunks across pipeline stages.
-        to_run: list[LocalCheck] = []
-        slots: list[tuple] = []
+        # One single-stage plan for everything invalidated: group keys map
+        # each outcome block back to its cache cell, and a one-round batch
+        # lets the worker pool overlap chunks across pipeline stages.
+        plan_groups: list[CheckGroup] = []
         for owner, group in prop_groups.items():
             if owner in rerun_prop:
-                to_run.extend(group)
-                slots.extend((_PROP, owner) for __ in group)
+                plan_groups.append(
+                    CheckGroup((_PROP, owner), tuple(group), "reverify")
+                )
         if rerun_impl:
-            to_run.append(implication)
-            slots.append((_IMPL, None))
+            plan_groups.append(
+                CheckGroup((_IMPL, None), (implication,), "reverify")
+            )
         for router, groups in self._sub_groups.items():
             for owner, group in groups.items():
                 if owner in rerun_sub[router]:
-                    to_run.extend(group)
-                    slots.extend((_SUB, router, owner) for __ in group)
+                    plan_groups.append(
+                        CheckGroup((_SUB, router, owner), tuple(group), "reverify")
+                    )
+        plan = CheckPlan(groups=tuple(plan_groups))
 
         substrate = self.substrate
         degradation = DegradationReport()
-        fresh = run_checks(
-            to_run,
+        result = Scheduler(substrate).run(
+            plan,
             config,
             universe,
             self.ghosts,
-            parallel=substrate.parallel,
             conflict_budget=self.conflict_budget,
-            backend=substrate.backend,
-            sessions=substrate.sessions,
-            workers=substrate._workers(),
-            deadline_s=substrate.deadline_s,
             run_deadline=substrate._begin_run_deadline(),
             degradation=degradation,
         )
+        fresh = result.outcomes
 
-        # Scatter fresh outcomes back into the owner indexes.
-        fresh_prop: dict[str | None, list[CheckOutcome]] = {}
-        fresh_sub: dict[str, dict[str | None, list[CheckOutcome]]] = {}
-        for slot, outcome in zip(slots, fresh):
-            if slot[0] == _PROP:
-                fresh_prop.setdefault(slot[1], []).append(outcome)
-            elif slot[0] == _IMPL:
-                self._impl_outcome = outcome
-            else:
-                fresh_sub.setdefault(slot[1], {}).setdefault(slot[2], []).append(
-                    outcome
-                )
+        # Scatter fresh outcomes back into the owner indexes by group key.
         for owner in rerun_prop:
-            self._prop_outcomes[owner] = fresh_prop.get(owner, [])
+            key = (_PROP, owner)
+            self._prop_outcomes[owner] = (
+                result.group(key) if key in result.results else []
+            )
+        if rerun_impl:
+            self._impl_outcome = result.group((_IMPL, None))[0]
         for router, owners in rerun_sub.items():
             cache = self._sub_outcomes.setdefault(router, {})
             for owner in owners:
-                cache[owner] = fresh_sub.get(router, {}).get(owner, [])
+                key = (_SUB, router, owner)
+                cache[owner] = (
+                    result.group(key) if key in result.results else []
+                )
         self._digests = new_digests
         self._ran = True
 
@@ -369,7 +370,7 @@ class LivenessTracker:
             report=report,
             rerun_checks=len(fresh),
             cached_checks=total - len(fresh),
-            checks_consulted=len(to_run),
+            checks_consulted=plan.num_checks,
         )
 
 

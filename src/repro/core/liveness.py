@@ -54,14 +54,17 @@ from repro.core.checks import (
     LocalCheck,
     generate_safety_checks,
 )
-from repro.core.parallel import WorkerPool
+from repro.core.exec import (
+    CheckGroup,
+    CheckPlan,
+    ExecutionContext,
+    Scheduler,
+    Stage,
+    WorkerPool,
+)
 from repro.core.properties import InvariantMap, LivenessProperty, SafetyProperty
 from repro.core.report import DegradationReport, VerificationReport
-from repro.core.safety import (
-    SafetyReport,
-    build_universe,
-    run_checks,
-)
+from repro.core.safety import SafetyReport, build_universe
 from repro.lang.ghost import GhostAttribute
 from repro.lang.predicates import Implies, Predicate, PrefixIn, TruePred, prefix_projection
 from repro.lang.universe import AttributeUniverse
@@ -308,6 +311,51 @@ def liveness_universe(
     )
 
 
+#: Group keys used by the liveness plan (shared with the incremental
+#: tracker, whose keys extend the sub-proof key with the owner router).
+PROPAGATION_KEY = ("prop",)
+IMPLICATION_KEY = ("impl",)
+
+
+def subproof_key(router: str) -> tuple:
+    return ("sub", router)
+
+
+def liveness_plan(checks: LivenessChecks, pipelined: bool = True) -> CheckPlan:
+    """The §5 pipeline as a staged :class:`CheckPlan`.
+
+    Three stages: ``propagation``, ``implication`` (which waits for
+    propagation), and ``interference``.  Only the implication depends on
+    the propagation stage, so the interference sub-proofs — each a
+    full-network §4 problem, the bulk of the work — are scheduled in the
+    very first round alongside propagation.  ``pipelined=False`` instead
+    rebuilds the pre-PR-9 barrier order (propagation, then implication,
+    then sub-proofs), which exists for the pipelining benchmark and
+    differential tests.
+    """
+    if pipelined:
+        stages = (
+            Stage("propagation"),
+            Stage("implication", after=("propagation",)),
+            Stage("interference"),
+        )
+    else:
+        stages = (
+            Stage("propagation"),
+            Stage("implication", after=("propagation",)),
+            Stage("interference", after=("implication",)),
+        )
+    groups = [
+        CheckGroup(PROPAGATION_KEY, tuple(checks.propagation), "propagation"),
+        CheckGroup(IMPLICATION_KEY, (checks.implication,), "implication"),
+    ]
+    for router, sub_checks in checks.subproof_checks.items():
+        groups.append(
+            CheckGroup(subproof_key(router), tuple(sub_checks), "interference")
+        )
+    return CheckPlan(groups=tuple(groups), stages=stages)
+
+
 def verify_liveness(
     config: NetworkConfig,
     prop: LivenessProperty,
@@ -339,60 +387,51 @@ def verify_liveness(
     """
     start = time.perf_counter()
     prop.validate_against(config.topology)
-    # One wall budget and one degradation collector span the whole
-    # pipeline: propagation, implication, and every sub-proof draw down
-    # the same deadline and report into the same collector.
-    run_deadline = (
-        None if wall_budget_s is None else time.monotonic() + wall_budget_s
+    # One execution context spans the whole pipeline: propagation,
+    # implication, and every sub-proof draw down the same wall budget,
+    # report into the same degradation collector, and share the session
+    # pool — and a pool-creation failure warns once, not once per stage.
+    context = ExecutionContext(
+        parallel,
+        backend,
+        conflict_budget,
+        sessions,
+        workers,
+        deadline_s=deadline_s,
+        wall_budget_s=wall_budget_s,
+        autopool=False,
     )
+    run_deadline = context._begin_run_deadline()
     degradation = DegradationReport()
 
     if universe is None:
         universe = liveness_universe(config, prop, interference_invariants, ghosts)
-    pool = sessions if sessions is not None else SessionPool()
     checks = generate_liveness_checks(config, prop, interference_invariants)
+    plan = liveness_plan(checks)
 
-    propagation_outcomes = run_checks(
-        checks.propagation, config, universe, ghosts, parallel=parallel,
-        conflict_budget=conflict_budget, backend=backend,
-        sessions=pool, workers=workers,
-        deadline_s=deadline_s, run_deadline=run_deadline, degradation=degradation,
+    result = Scheduler(context).run(
+        plan,
+        config,
+        universe,
+        tuple(ghosts),
+        conflict_budget=conflict_budget,
+        run_deadline=run_deadline,
+        degradation=degradation,
     )
-
-    implication_outcome = run_checks(
-        [checks.implication], config, universe, ghosts, parallel=parallel,
-        conflict_budget=conflict_budget, backend=backend,
-        sessions=pool, workers=workers,
-        deadline_s=deadline_s, run_deadline=run_deadline, degradation=degradation,
-    )[0]
 
     interference_reports: dict[str, SafetyReport] = {}
     for router, safety_prop in checks.subproof_properties.items():
-        sub_start = time.perf_counter()
-        outcomes = run_checks(
-            checks.subproof_checks[router],
-            config,
-            universe,
-            ghosts,
-            parallel=parallel,
-            conflict_budget=conflict_budget,
-            backend=backend,
-            sessions=pool,
-            workers=workers,
-            deadline_s=deadline_s,
-            run_deadline=run_deadline,
-            degradation=degradation,
-        )
+        key = subproof_key(router)
         interference_reports[router] = SafetyReport(
             property=safety_prop,
-            outcomes=outcomes,
-            wall_time_s=time.perf_counter() - sub_start,
+            outcomes=result.group(key),
+            wall_time_s=result.wall_time_s(key),
         )
 
     return LivenessReport(
         property=prop,
-        propagation_outcomes=propagation_outcomes,
-        implication_outcome=implication_outcome,
+        propagation_outcomes=result.group(PROPAGATION_KEY),
+        implication_outcome=result.group(IMPLICATION_KEY)[0],
         interference_reports=interference_reports,
         wall_time_s=time.perf_counter() - start,
         degradation=degradation,

@@ -20,24 +20,24 @@ that want concurrent I/O without process semantics.
 
 from __future__ import annotations
 
-import os
 import time
-import warnings
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.bgp.config import NetworkConfig
 from repro.core.checks import (
     CheckKind,
     CheckOutcome,
     LocalCheck,
-    check_owner,
     generate_safety_checks,
-    group_checks_by_owner,
-    prepare_session,
-    skipped_outcome,
 )
-from repro.core.parallel import WorkerPool, run_checks_in_processes
+from repro.core.exec import (  # noqa: F401  (re-exported compatibility names)
+    BACKENDS,
+    CheckPlan,
+    ExecutionContext,
+    Scheduler,
+    WorkerPool,
+    resolve_jobs,
+)
 from repro.core.properties import InvariantMap, SafetyProperty
 from repro.core.report import (  # noqa: F401
     DegradationReport,
@@ -48,8 +48,6 @@ from repro.lang.ghost import GhostAttribute
 from repro.lang.predicates import predicate_atoms
 from repro.lang.universe import AttributeUniverse
 from repro.smt.solver import SessionPool
-
-BACKENDS = ("auto", "serial", "process", "thread")
 
 
 @dataclass
@@ -108,28 +106,6 @@ def build_universe(
     )
 
 
-def resolve_jobs(parallel: int | str | None) -> int:
-    """Normalise a ``parallel`` request to a worker count (1 = serial).
-
-    Accepts ``None``, an integer >= 0, or the string ``"auto"`` meaning one
-    worker per available core.  ``0`` is an explicit "no parallelism"
-    request and resolves to 1 (serial), exactly like ``None`` and ``1``;
-    only negative counts are rejected.
-    """
-    if parallel is None:
-        return 1
-    if parallel == "auto":
-        return os.cpu_count() or 1
-    jobs = int(parallel)
-    if jobs < 0:
-        raise ValueError(
-            f"parallel must be >= 0 (0 and 1 both mean serial), got {parallel!r}"
-        )
-    if jobs == 0:
-        return 1
-    return jobs
-
-
 def run_checks(
     checks: list[LocalCheck],
     config: NetworkConfig,
@@ -180,102 +156,33 @@ def run_checks(
     :class:`DegradationReport` collector: serial fallbacks (also announced
     via ``warnings.warn`` so they are never invisible) and the worker
     pool's recovery counters are recorded on it.
+
+    Since PR 9 this is a thin compatibility wrapper: it builds a
+    one-group :class:`~repro.core.exec.plan.CheckPlan` plus an ephemeral
+    :class:`~repro.core.exec.context.ExecutionContext` and lets the
+    :class:`~repro.core.exec.scheduler.Scheduler` dispatch it.  Callers
+    with staged or multi-group work should build plans directly.
     """
-    if backend not in BACKENDS:
-        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
-    jobs = resolve_jobs(parallel)
-
-    def _record_fallback(reason: str) -> None:
-        warnings.warn(
-            f"parallel check execution degraded to the serial path: {reason}",
-            RuntimeWarning,
-            stacklevel=3,
-        )
-        if degradation is not None:
-            degradation.record_fallback(reason)
-
-    if workers is not None and backend in ("auto", "process"):
-        if sessions is not None and sessions.seeds:
-            # Warm-start seeds staged on the caller's pool (e.g. restored
-            # from a workspace cache) belong to the worker processes when
-            # they are the ones discharging the checks.
-            workers.absorb_learnts(sessions.seeds)
-        respawns = workers.worker_respawns
-        redispatched = workers.chunks_redispatched
-        quarantined = workers.checks_quarantined
-        outcomes = workers.run(
-            checks, config, universe, ghosts, conflict_budget,
-            deadline_s=deadline_s, run_deadline=run_deadline,
-        )
-        if degradation is not None:
-            degradation.worker_respawns += workers.worker_respawns - respawns
-            degradation.chunks_redispatched += (
-                workers.chunks_redispatched - redispatched
-            )
-            degradation.checks_quarantined += (
-                workers.checks_quarantined - quarantined
-            )
-        if outcomes is not None:
-            return outcomes
-        _record_fallback(workers.last_fallback_reason or "worker pool unavailable")
-    # A single check cannot parallelise; forking a one-shot pool for it
-    # (e.g. the liveness implication with parallel > 1 and no WorkerPool)
-    # would be pure overhead, so it takes the serial session path below.
-    # The one-shot pool is also skipped under a run deadline: its blocking
-    # map() cannot return partial results, so the serial path below (which
-    # can stop between checks) honours the wall budget instead.
-    if (
-        jobs > 1 and len(checks) > 1 and backend in ("auto", "process")
-        and run_deadline is None
-    ):
-        outcomes = run_checks_in_processes(
-            checks, config, universe, ghosts, conflict_budget, jobs,
-            deadline_s=deadline_s,
-        )
-        if outcomes is not None:
-            return outcomes
-        _record_fallback("one-shot process pool unavailable")
-    elif jobs > 1 and backend == "thread":
-        def _run_threaded(check: LocalCheck) -> CheckOutcome:
-            if run_deadline is not None and time.monotonic() >= run_deadline:
-                return skipped_outcome(check, "wall-budget")
-            effective = deadline_s
-            if run_deadline is not None:
-                remaining = run_deadline - time.monotonic()
-                effective = remaining if effective is None else min(effective, remaining)
-            return check.run(
-                config, universe, ghosts, conflict_budget, deadline_s=effective
-            )
-
-        with ThreadPoolExecutor(max_workers=jobs) as pool:
-            return list(pool.map(_run_threaded, checks))
-    pool = sessions if sessions is not None else SessionPool()
-    groups = group_checks_by_owner(checks)
-    prepared: set[int] = set()
-    outcomes = []
-    for check in checks:
-        if run_deadline is not None and time.monotonic() >= run_deadline:
-            outcomes.append(skipped_outcome(check, "wall-budget"))
-            continue
-        effective = deadline_s
-        if run_deadline is not None:
-            remaining = run_deadline - time.monotonic()
-            effective = remaining if effective is None else min(effective, remaining)
-        owner = check_owner(check)
-        session = pool.get(owner)
-        if id(session) not in prepared:
-            # First touch of this session in this run: install the shared
-            # preamble and import any pending warm-start seed.
-            prepared.add(id(session))
-            prepare_session(session, universe, groups[owner])
-            pool.try_seed(owner, session)
-        outcomes.append(
-            check.run(
-                config, universe, ghosts, conflict_budget,
-                session=session, deadline_s=effective,
-            )
-        )
-    return outcomes
+    context = ExecutionContext(
+        parallel,
+        backend,
+        conflict_budget,
+        sessions,
+        workers,
+        deadline_s=deadline_s,
+        autopool=False,
+    )
+    plan = CheckPlan.single(list(checks))
+    result = Scheduler(context).run(
+        plan,
+        config,
+        universe,
+        tuple(ghosts),
+        conflict_budget=conflict_budget,
+        run_deadline=run_deadline,
+        degradation=degradation,
+    )
+    return result.outcomes
 
 
 def verify_safety(

@@ -54,8 +54,8 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from repro.bgp.config import NetworkConfig
+from repro.core.exec import ExecutionContext
 from repro.core.incremental import (
-    IncrementalSubstrate,
     SafetyTracker,
     config_digests,
     diff_digests,
@@ -63,7 +63,6 @@ from repro.core.incremental import (
 from repro.core.incremental_liveness import LivenessTracker
 from repro.core.properties import InvariantMap, LivenessProperty, SafetyProperty
 from repro.core.report import VerificationReport
-from repro.core.safety import BACKENDS
 from repro.lang.ghost import GhostAttribute
 from repro.lang.predicates import Predicate
 from repro.smt.solver import solver_reuse_enabled
@@ -71,8 +70,8 @@ from repro.smt.solver import solver_reuse_enabled
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from typing import Callable
 
+    from repro.core.exec import WorkerPool
     from repro.core.liveness import LivenessReport
-    from repro.core.parallel import WorkerPool
     from repro.core.safety import SafetyReport
     from repro.smt.solver import SessionPool
 
@@ -211,7 +210,7 @@ def _topology_fp(config: NetworkConfig) -> tuple[object, ...]:
 # ---------------------------------------------------------------------------
 
 
-class Workspace(IncrementalSubstrate):
+class Workspace(ExecutionContext):
     """One verification session over one network configuration.
 
     Parameters
@@ -240,7 +239,7 @@ class Workspace(IncrementalSubstrate):
         Wall-clock cap for each ``verify``/``reverify`` run; once spent,
         the remaining checks come back UNKNOWN with reason
         ``wall-budget`` and the report carries the partial results.
-        :meth:`IncrementalSubstrate.set_run_deadline` instead pins one
+        :meth:`ExecutionContext.set_run_deadline` instead pins one
         absolute deadline across several runs.  Neither deadline is part
         of a cache fingerprint — they bound execution, not the problem.
     sessions / workers:
@@ -267,8 +266,6 @@ class Workspace(IncrementalSubstrate):
         problems = config.validate()
         if problems:
             raise ValueError("invalid network configuration: " + "; ".join(problems))
-        if backend not in BACKENDS:
-            raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
         super().__init__(
             parallel,
             backend,

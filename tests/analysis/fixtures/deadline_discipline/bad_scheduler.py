@@ -1,0 +1,28 @@
+"""Positive fixture: a scheduler-style dispatch loop with no stop discipline.
+
+The PR 9 shape: a round-based loop draining ready batches, plus a
+per-batch effective-deadline helper.  This variant neither samples the
+run deadline between rounds nor guards the computed remainder against
+having already expired.
+
+# repro: hot-path
+"""
+
+import time
+
+
+def drain(plan, run_deadline):
+    pending = list(plan)
+    results = []
+    while True:
+        if not pending:
+            return results
+        batch, pending = pending[0], pending[1:]
+        results.append(batch.run())
+
+
+def effective(per_check, run_deadline):
+    remaining = run_deadline - time.monotonic()
+    if per_check is not None:
+        remaining = min(remaining, per_check)
+    return remaining

@@ -1,0 +1,34 @@
+"""Negative fixture: the scheduler dispatch loop done right.
+
+Mirrors ``bad_scheduler.py`` with the two fixes the checker wants: the
+round loop samples the run deadline between batches (resolving the rest
+of the plan without touching a solver), and the effective-deadline
+helper clamps an already-expired remainder instead of letting a negative
+budget flow into a solve.
+
+# repro: hot-path
+"""
+
+import time
+
+
+def drain(plan, run_deadline):
+    pending = list(plan)
+    results = []
+    while True:
+        if not pending:
+            return results
+        if run_deadline is not None and time.monotonic() >= run_deadline:
+            results.extend(batch.skip() for batch in pending)
+            return results
+        batch, pending = pending[0], pending[1:]
+        results.append(batch.run())
+
+
+def effective(per_check, run_deadline):
+    remaining = run_deadline - time.monotonic()
+    if remaining <= 0.0:
+        remaining = 0.0
+    if per_check is not None:
+        remaining = min(remaining, per_check)
+    return remaining

@@ -102,3 +102,22 @@ class TestDeadlineDiscipline:
         result = lint(self.DIR, [self.DIR / "not_hot.py"],
                       checkers=["deadline-discipline"])
         assert result.fresh == []
+
+    def test_flags_scheduler_dispatch_without_stop_discipline(self, lint):
+        # The PR 9 shape: a round-draining dispatch loop plus a computed
+        # per-batch effective deadline — both without stop discipline.
+        result = lint(self.DIR, [self.DIR / "bad_scheduler.py"],
+                      checkers=["deadline-discipline"])
+        keys = _keys(result.fresh)
+        assert any(":drain:while@" in key for key in keys)
+        assert any(key.endswith(":effective:remaining") for key in keys)
+        assert len(keys) == 2
+
+    def test_scheduler_dispatch_with_stop_discipline_is_clean(self, lint):
+        # The mirrored fixes: the loop samples the run deadline between
+        # batches, and the remainder is clamped at expiry (the
+        # ``BatchRequest.effective_deadline`` shape).
+        result = lint(self.DIR, [self.DIR / "good_scheduler.py"],
+                      checkers=["deadline-discipline"])
+        assert result.fresh == []
+        assert result.suppressed == []

@@ -273,13 +273,13 @@ def test_conflict_budget_is_threaded_to_run_checks(monkeypatch):
     import repro.core.incremental_liveness as mod
 
     captured = []
-    real = mod.run_checks
+    real = mod.Scheduler.run
 
-    def spy(*args, **kwargs):
+    def spy(self, *args, **kwargs):
         captured.append(kwargs.get("conflict_budget"))
-        return real(*args, **kwargs)
+        return real(self, *args, **kwargs)
 
-    monkeypatch.setattr(mod, "run_checks", spy)
+    monkeypatch.setattr(mod.Scheduler, "run", spy)
     config = build_figure1()
     v = IncrementalLivenessVerifier(
         config, customer_liveness_property(), conflict_budget=7777

@@ -130,7 +130,19 @@ def test_resolve_jobs_contract():
     assert resolve_jobs(0) == 1
     assert resolve_jobs(1) == 1
     assert resolve_jobs(4) == 4
-    assert resolve_jobs("auto") == (os.cpu_count() or 1)
+    # "auto" means the CPUs actually *available* to this process — the
+    # process CPU count (3.13+) or the affinity mask where supported —
+    # never more than the machine total.  (The per-source preference
+    # order is pinned by the monkeypatched tests in test_exec_runtime.)
+    auto = resolve_jobs("auto")
+    assert auto >= 1
+    assert auto <= (os.cpu_count() or auto)
+    if getattr(os, "process_cpu_count", lambda: None)():
+        assert auto == os.process_cpu_count()
+    elif hasattr(os, "sched_getaffinity"):
+        assert auto == len(os.sched_getaffinity(0))
+    else:
+        assert auto == (os.cpu_count() or 1)
     with pytest.raises(ValueError):
         resolve_jobs(-2)
 
