@@ -27,6 +27,10 @@ execution-runtime sections: ``scheduler_overhead`` (the one-group-plan
 scheduler path vs. a hand-rolled pre-refactor serial loop; flagged if
 the overhead exceeds 5%) and ``liveness_pipelining`` (the staged §5 plan
 with the interference barrier removed vs. the legacy barriered order).
+``BENCH_PR10.json`` adds the ``lint`` section: wall time of the repo's
+own static-analysis pass over ``src/repro`` — cold serial, cold
+``--jobs N`` through the process extraction backend, and a warm
+fact-cache run.
 """
 
 from __future__ import annotations
@@ -667,6 +671,79 @@ def liveness_pipelining_microbench(n: int = 12, rounds: int = 3) -> dict:
     }
 
 
+def lint_walltime_microbench(rounds: int = 3) -> dict:
+    """PR 10: the static-analysis pass over ``src/repro`` itself.
+
+    Three measurements, best-of-``rounds`` each:
+
+    1. **cold serial** — no cache, ``jobs=None``: every file parsed and
+       fact-extracted in process;
+    2. **cold parallel** — no cache, ``jobs=cpu_count``: the same work
+       fanned out through the process extraction backend (on a
+       single-core host this times the serial fallback);
+    3. **warm** — a populated fact cache: discovery plus digest lookups
+       only, the cost a CI run with a restored ``.lint-cache`` pays.
+
+    Findings are asserted identical across all three — the differential
+    contract, measured rather than mocked.
+    """
+    from repro.analysis.engine import LintOptions, run_lint
+
+    repo_root = Path(__file__).resolve().parent.parent
+    src = repo_root / "src" / "repro"
+    jobs = os.cpu_count() or 1
+
+    def run(cache_file, n_jobs):
+        options = LintOptions(
+            root=repo_root,
+            paths=[src],
+            cache_file=cache_file,
+            baseline_file=repo_root / "lint-baseline.json",
+            manifest_file=repo_root / "cache-shape.json",
+            jobs=n_jobs,
+        )
+        start = time.perf_counter()
+        result = run_lint(options)
+        return time.perf_counter() - start, result
+
+    best = {"cold_serial": None, f"cold_process_jobs{jobs}": None, "warm": None}
+    keys = {}
+    files = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        warm_cache = Path(tmp) / "warm" / "lint-cache.json"
+        run(warm_cache, None)  # populate once; warm rounds reuse it
+        for __ in range(rounds):
+            t_serial, serial = run(None, None)
+            t_process, process = run(None, jobs)
+            t_warm, warm = run(warm_cache, None)
+            for result in (serial, process, warm):
+                assert not result.failed, "lint found fresh errors mid-benchmark"
+            keys = {
+                label: [f.key() for f in result.fresh]
+                for label, result in (
+                    ("serial", serial), ("process", process), ("warm", warm),
+                )
+            }
+            assert keys["serial"] == keys["process"] == keys["warm"]
+            files = serial.files_analyzed
+            for key, value in (
+                ("cold_serial", t_serial),
+                (f"cold_process_jobs{jobs}", t_process),
+                ("warm", t_warm),
+            ):
+                best[key] = value if best[key] is None else min(best[key], value)
+    return {
+        "workload": "lightyear lint over src/repro (the repo's own gate)",
+        "files": files,
+        "wall_time_s": {k: round(v, 4) for k, v in best.items()},
+        "parallel_speedup": round(
+            best["cold_serial"] / best[f"cold_process_jobs{jobs}"], 2
+        ),
+        "warm_speedup": round(best["cold_serial"] / best["warm"], 2),
+        "findings_identical_across_modes": True,
+    }
+
+
 #: A prior-PR speedup below this ratio is called out as a regression in
 #: the recorded JSON and on stderr.
 REGRESSION_FLOOR = 0.95
@@ -817,6 +894,7 @@ def perf_baseline(json_path: str, sizes=(25, 50), rounds: int = 5) -> dict:
     record["solver_reuse"] = solver_reuse_microbench()
     record["scheduler_overhead"] = scheduler_overhead_microbench()
     record["liveness_pipelining"] = liveness_pipelining_microbench()
+    record["lint"] = lint_walltime_microbench()
     regressions = _flag_regressions(record)
     if regressions:
         record["regressions"] = regressions

@@ -1,8 +1,11 @@
 """Built-in checkers.  Importing this package registers all of them."""
 
 from repro.analysis.checkers import (  # noqa: F401
+    budget_flow,
     cache_format,
+    concurrency_discipline,
     deadline_discipline,
     digest_coverage,
     pickle_safety,
+    shim_fidelity,
 )

@@ -50,8 +50,16 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--update-baseline",
         action="store_true",
-        help="rewrite the baseline to the current findings (the ratchet: run "
-        "after fixing debt, never to bury fresh violations)",
+        help="shrink the baseline: drop entries whose finding is fixed "
+        "(the ratchet; fresh findings are never adopted and still fail)",
+    )
+    parser.add_argument(
+        "--jobs",
+        default=None,
+        metavar="N",
+        help="fact-extraction workers: an integer, or 'auto' for one per "
+        "available CPU (default: serial); findings are identical at any "
+        "job count",
     )
     parser.add_argument(
         "--manifest",
@@ -119,6 +127,7 @@ def run_from_args(args: argparse.Namespace) -> int:
         manifest_file=manifest,
         update_manifest=args.update_manifest,
         checker_ids=args.checkers,
+        jobs=args.jobs,
     )
     try:
         result = run_lint(options)

@@ -4,11 +4,23 @@ Orchestrates one run end to end::
 
     result = run_lint(LintOptions(root=repo_root, paths=[src/repro]))
 
-Per-file work (AST parse, checker extraction, suppression scan) is
-cached keyed by content digest (:mod:`repro.analysis.cache`); the
-cross-file analyze phase re-runs every invocation.  Suppressions and the
-baseline are applied here, not in checkers, so every checker gets both
-behaviours for free.
+Per-file work (AST parse, checker extraction, the engine's own
+suppression and call-graph symbol facts) is cached keyed by content
+digest (:mod:`repro.analysis.cache`); the cross-file analyze phase —
+including composing the project call graph — re-runs every invocation.
+Suppressions and the baseline are applied here, not in checkers, so
+every checker gets both behaviours for free.
+
+Extraction for cache-miss files is dispatched through the exec runtime
+(:mod:`repro.analysis.execution`): one :class:`CheckPlan` over the
+files, discharged serially or by a process pool depending on
+``LintOptions.jobs``.  Facts are reassembled in sorted file order, so
+the job count never changes the findings.
+
+The baseline is a *ratchet*: ``update_baseline`` only ever shrinks it
+(resolved findings are dropped; fresh findings are never adopted and
+keep failing the run).  Growing the baseline is a deliberate manual
+edit, not a flag.
 """
 
 from __future__ import annotations
@@ -19,6 +31,12 @@ from pathlib import Path
 
 from repro.analysis.baseline import load_baseline, partition, save_baseline
 from repro.analysis.cache import FactCache, content_digest
+from repro.analysis.callgraph import (
+    CALLGRAPH_KEY,
+    CALLGRAPH_VERSION,
+    extract_callgraph_facts,
+)
+from repro.analysis.execution import ExtractionTask, run_extraction
 from repro.analysis.findings import Finding, LintResult, Severity
 from repro.analysis.registry import Checker, Project, all_checkers
 from repro.analysis.suppressions import Suppression, is_suppressed
@@ -38,6 +56,7 @@ class LintOptions:
     manifest_file: Path | None = None
     update_manifest: bool = False
     checker_ids: list[str] | None = None  # None = all registered
+    jobs: int | str | None = None  # None/1 = serial, N or "auto" = processes
 
 
 def discover_files(paths: list[Path]) -> list[Path]:
@@ -75,8 +94,22 @@ def _selected_checkers(options: LintOptions) -> list[Checker]:
 
 
 def run_lint(options: LintOptions) -> LintResult:
+    from repro.core.exec.context import resolve_jobs
+
+    try:
+        resolve_jobs(options.jobs)  # reject bad job counts before any work
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"invalid --jobs value {options.jobs!r}: expected an integer >= 0 "
+            f"or 'auto'"
+        ) from None
     checkers = _selected_checkers(options)
     versions = {checker.id: checker.version for checker in checkers}
+    # The engine's call-graph symbol facts ride the same cache entries;
+    # their version participates in the key, so bumping
+    # CALLGRAPH_VERSION invalidates cached facts exactly like a checker
+    # version bump does.
+    versions[CALLGRAPH_KEY] = CALLGRAPH_VERSION
     cache = FactCache(options.cache_file)
     result = LintResult()
 
@@ -86,21 +119,35 @@ def run_lint(options: LintOptions) -> LintResult:
 
     files = discover_files(options.paths or [options.root])
     findings: list[Finding] = []
-    suppression_maps: dict[str, dict[int, list[Suppression]]] = {}
 
+    # Phase 1: cache lookups; misses become extraction tasks.
+    digests: dict[str, str] = {}
+    tasks: list[ExtractionTask] = []
+    checker_ids = tuple(checker.id for checker in checkers)
     for file_path in files:
         rel = _relative(file_path, options.root)
         data = file_path.read_bytes()
         digest = content_digest(data)
+        digests[rel] = digest
         facts = cache.lookup(rel, digest, versions)
         if facts is None:
-            facts = _extract_file(rel, data, checkers, findings)
-            cache.store(rel, digest, versions, facts)
+            tasks.append(ExtractionTask(rel=rel, data=data, checker_ids=checker_ids))
         else:
             result.files_from_cache += 1
+            project.facts[rel] = facts
         result.files_analyzed += 1
-        project.facts[rel] = facts
-        suppression_maps[rel] = _suppression_index_from_facts(facts)
+
+    # Phase 2: extraction through the exec runtime (plan -> scheduler ->
+    # backend); outcomes arrive in sorted file order.
+    for outcome in run_extraction(tasks, options.jobs):
+        cache.store(outcome.rel, digests[outcome.rel], versions, outcome.facts)
+        project.facts[outcome.rel] = outcome.facts
+        findings.extend(outcome.findings)
+
+    suppression_maps = {
+        rel: _suppression_index_from_facts(facts)
+        for rel, facts in project.facts.items()
+    }
 
     cache.prune(set(project.facts))
     cache.save()
@@ -130,36 +177,44 @@ def run_lint(options: LintOptions) -> LintResult:
     result.resolved = resolved
 
     if options.update_baseline and options.baseline_file is not None:
-        save_baseline(options.baseline_file, errors)
-        result.fresh = warnings
-        result.baselined = errors
+        # Shrink-only ratchet: keep exactly the baselined findings that
+        # still occur.  Fresh findings are NOT adopted — they stay fresh
+        # and the run still fails; growing the baseline is a manual edit
+        # with review, never a flag.
+        save_baseline(options.baseline_file, baselined)
         result.resolved = []
     return result
 
 
-def _extract_file(
-    rel: str, data: bytes, checkers: list[Checker], findings: list[Finding]
-) -> dict[str, object]:
-    """Run every checker's extract phase over one file; parse errors
-    become findings rather than crashes (lint must not die on a bad
-    file — that is exactly when it is needed)."""
+def extract_file_facts(
+    rel: str, data: bytes, checkers: list[Checker]
+) -> tuple[dict[str, object], list[Finding]]:
+    """Run the extract phase over one file: every checker's facts plus
+    the engine's own records (suppression index, call-graph symbols).
+
+    Pure with respect to its arguments — no engine state, no
+    filesystem — so it can run in a worker process and ship its result
+    back whole.  Parse errors become findings rather than crashes (lint
+    must not die on a bad file — that is exactly when it is needed).
+    """
     from repro.analysis.suppressions import parse_suppressions
 
     facts: dict[str, object] = {}
+    findings: list[Finding] = []
     try:
         source = data.decode("utf-8")
     except UnicodeDecodeError as exc:
         findings.append(
             Finding("parse-error", rel, 0, f"not valid UTF-8: {exc}", symbol="encoding")
         )
-        return facts
+        return facts, findings
     try:
         tree = ast.parse(source, filename=rel)
     except SyntaxError as exc:
         findings.append(
             Finding("parse-error", rel, exc.lineno or 0, f"syntax error: {exc.msg}")
         )
-        return facts
+        return facts, findings
     facts[_SUPPRESSIONS_KEY] = [
         {
             "line": supp.line,
@@ -169,11 +224,12 @@ def _extract_file(
         }
         for supp in parse_suppressions(source)
     ]
+    facts[CALLGRAPH_KEY] = extract_callgraph_facts(tree, source, rel)
     for checker in checkers:
         extracted = checker.extract(tree, source, rel)
         if extracted is not None:
             facts[checker.id] = extracted
-    return facts
+    return facts, findings
 
 
 def _suppression_index_from_facts(

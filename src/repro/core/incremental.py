@@ -411,8 +411,12 @@ class DeprecatedVerifierShim:
         # _checks_by_owner, _impl_outcome, universe_builds, _worker_pool,
         # ...) to the tracker first, then the workspace.
         entry = object.__getattribute__(self, "_entry")
+        # repro: ignore[shim-fidelity] -- __getattr__ must branch: pre-init
+        # access (pickle/copy) has no _entry yet and must raise, not recurse
         if entry is None:
             raise AttributeError(name)
+        # repro: ignore[shim-fidelity] -- the tracker-then-workspace probe IS
+        # the delegation; there is no single real target to forward to
         if hasattr(entry.tracker, name):
             return getattr(entry.tracker, name)
         return getattr(object.__getattribute__(self, "_workspace"), name)

@@ -1,0 +1,11 @@
+"""The PR 4 bug, hop one: the CLI parses --budget and forwards it.
+
+This layer is *correct* — the drop happens one module further down,
+which is exactly why no per-file pass could see it.
+"""
+
+from bad_chain_engine import verify_all
+
+
+def cmd_verify(config, conflict_budget=None):
+    return verify_all(config, conflict_budget=conflict_budget)

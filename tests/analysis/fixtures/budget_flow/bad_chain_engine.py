@@ -1,0 +1,15 @@
+"""The PR 4 bug, hop two: the engine holds the budget and drops it.
+
+``run_one`` accepts ``conflict_budget`` with a ``None`` default, so the
+missing argument is silently "unlimited" — the flag parses, the run
+succeeds, and the budget does nothing.
+"""
+
+from bad_chain_helpers import run_one
+
+
+def verify_all(config, conflict_budget=None):
+    results = []
+    for check in config:
+        results.append(run_one(check, config))
+    return results

@@ -1,0 +1,5 @@
+"""The PR 4 bug, hop three: the helper whose default absorbs the drop."""
+
+
+def run_one(check, config, conflict_budget=None):
+    return check.solve(config, conflict_budget)

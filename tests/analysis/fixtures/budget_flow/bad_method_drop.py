@@ -1,0 +1,9 @@
+"""Same bug class, intraprocedural flavour: a method drops the deadline."""
+
+
+class Runner:
+    def run(self, checks, deadline_s=None):
+        return [self._solve(check) for check in checks]
+
+    def _solve(self, check, deadline_s=None):
+        return check.solve(deadline_s)

@@ -1,0 +1,7 @@
+"""The fixed chain, hop one: identical to the bad CLI hop."""
+
+from good_chain_engine import verify_all
+
+
+def cmd_verify(config, conflict_budget=None):
+    return verify_all(config, conflict_budget=conflict_budget)

@@ -1,0 +1,10 @@
+"""The fixed chain, hop two: the budget is forwarded at every boundary."""
+
+from good_chain_helpers import run_one
+
+
+def verify_all(config, conflict_budget=None):
+    results = []
+    for check in config:
+        results.append(run_one(check, config, conflict_budget=conflict_budget))
+    return results

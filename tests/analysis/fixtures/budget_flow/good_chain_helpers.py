@@ -1,0 +1,5 @@
+"""The fixed chain, hop three: same helper shape as the bad chain."""
+
+
+def run_one(check, config, conflict_budget=None):
+    return check.solve(config, conflict_budget)

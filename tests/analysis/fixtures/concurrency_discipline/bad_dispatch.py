@@ -1,0 +1,18 @@
+"""Unguarded module state on a dispatch path: the latent daemon bug.
+
+``Scheduler.run`` fans ``_solve`` out over worker threads; ``_solve``
+memoises into a module-level dict with no lock and no declaration.
+"""
+
+_RESULT_CACHE = {}
+
+
+def _solve(check):
+    if check not in _RESULT_CACHE:
+        _RESULT_CACHE[check] = len(_RESULT_CACHE)
+    return _RESULT_CACHE[check]
+
+
+class Scheduler:
+    def run(self, pool, checks):
+        return list(pool.map(_solve, checks))

@@ -1,0 +1,20 @@
+"""Two escalations: dispatch via a *subclass*, state on the *class*.
+
+``LintScheduler`` inherits dispatcher-hood from ``Scheduler``; the
+class-level ``_seen`` dict is shared by every instance, and
+``__init__`` does not shadow it with an instance copy.
+"""
+
+
+class Scheduler:
+    def dispatch(self, checks):
+        raise NotImplementedError
+
+
+class LintScheduler(Scheduler):
+    _seen = {}
+
+    def dispatch(self, checks):
+        for check in checks:
+            self._seen[check] = True
+        return list(self._seen)

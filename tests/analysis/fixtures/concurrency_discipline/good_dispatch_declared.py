@@ -1,0 +1,22 @@
+"""The same dispatch shape, with the state explicitly declared shared.
+
+The declaration is the PICKLE_ROOTS idiom applied to concurrency: an
+auditable opt-in stating the discipline (here: value writes are
+idempotent, so a lost update is harmless).
+"""
+
+#: Idempotent memo values; a racing duplicate write is harmless.
+SHARED_STATE = ("_RESULT_CACHE",)
+
+_RESULT_CACHE = {}
+
+
+def _solve(check):
+    if check not in _RESULT_CACHE:
+        _RESULT_CACHE[check] = len(_RESULT_CACHE)
+    return _RESULT_CACHE[check]
+
+
+class Scheduler:
+    def run(self, pool, checks):
+        return list(pool.map(_solve, checks))

@@ -1,0 +1,18 @@
+"""The same unguarded write, but nothing concurrent can reach it.
+
+``Planner`` is not a dispatcher and subclasses none, so the memo write
+stays single-threaded and the checker must stay silent.
+"""
+
+_RESULT_CACHE = {}
+
+
+def _solve(check):
+    if check not in _RESULT_CACHE:
+        _RESULT_CACHE[check] = len(_RESULT_CACHE)
+    return _RESULT_CACHE[check]
+
+
+class Planner:
+    def run(self, checks):
+        return [_solve(check) for check in checks]

@@ -1,0 +1,24 @@
+"""Compatibility shim: pure delegation, exactly what a shim may contain."""
+
+import warnings
+
+from real_impl import real_verify, real_reverify
+
+
+def verify(config, conflict_budget=None):
+    warnings.warn("use real_impl.real_verify", DeprecationWarning, stacklevel=2)
+    return real_verify(config, conflict_budget=conflict_budget)
+
+
+class OldVerifier:
+    """Use ``real_impl`` instead."""
+
+    def __init__(self, config):
+        warnings.warn("OldVerifier is deprecated", DeprecationWarning)
+        self._config = config
+
+    def verify(self):
+        return real_verify(self._config)
+
+    def reverify(self, edit):
+        return real_reverify(self._config, edit)

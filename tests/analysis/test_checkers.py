@@ -121,3 +121,127 @@ class TestDeadlineDiscipline:
                       checkers=["deadline-discipline"])
         assert result.fresh == []
         assert result.suppressed == []
+
+
+class TestBudgetFlow:
+    DIR = FIXTURES / "budget_flow"
+
+    def test_flags_the_pr4_dropped_budget_chain(self, lint):
+        # The real regression: the CLI threads conflict_budget into the
+        # engine, the engine loops over checks and calls run_one without
+        # it, and the parameter silently falls back to its default.  The
+        # drop site is interprocedural — caller and callee live in
+        # different files — so the whole fixture dir is the unit.
+        result = lint(self.DIR, [self.DIR], checkers=["budget-flow"])
+        assert (
+            "budget-flow:bad_chain_engine.py:verify_all->run_one:conflict_budget"
+            in _keys(result.fresh)
+        )
+
+    def test_forwarding_chain_is_clean(self, lint):
+        result = lint(
+            self.DIR,
+            [self.DIR / "good_chain_cli.py",
+             self.DIR / "good_chain_engine.py",
+             self.DIR / "good_chain_helpers.py"],
+            checkers=["budget-flow"],
+        )
+        assert result.fresh == []
+
+    def test_flags_intra_class_method_drop(self, lint):
+        result = lint(self.DIR, [self.DIR / "bad_method_drop.py"],
+                      checkers=["budget-flow"])
+        assert _keys(result.fresh) == {
+            "budget-flow:bad_method_drop.py:Runner.run->Runner._solve:deadline_s"
+        }
+        (finding,) = result.fresh
+        assert "deadline_s" in finding.message
+
+    def test_star_forwarding_is_trusted(self, lint):
+        # **kwargs expansion makes the argument set uncertain; the checker
+        # stays silent rather than guessing.
+        result = lint(self.DIR, [self.DIR / "good_star_forward.py"],
+                      checkers=["budget-flow"])
+        assert result.fresh == []
+
+
+class TestConcurrencyDiscipline:
+    DIR = FIXTURES / "concurrency_discipline"
+
+    def test_flags_unguarded_cache_reached_via_pool_map(self, lint):
+        # Scheduler.run -> pool.map(_solve, ...) is a may-call edge; the
+        # worker's bare module-dict write is flagged even though no
+        # dispatch method touches the cache directly.
+        result = lint(self.DIR, [self.DIR / "bad_dispatch.py"],
+                      checkers=["concurrency-discipline"])
+        assert _keys(result.fresh) == {
+            "concurrency-discipline:bad_dispatch.py:_solve:_RESULT_CACHE"
+        }
+
+    def test_lock_guarded_write_is_clean(self, lint):
+        result = lint(self.DIR, [self.DIR / "good_dispatch_locked.py"],
+                      checkers=["concurrency-discipline"])
+        assert result.fresh == []
+
+    def test_shared_state_declaration_is_honoured(self, lint):
+        result = lint(self.DIR, [self.DIR / "good_dispatch_declared.py"],
+                      checkers=["concurrency-discipline"])
+        assert result.fresh == []
+
+    def test_non_dispatch_classes_are_out_of_scope(self, lint):
+        # Identical write, but the enclosing class is not a dispatcher
+        # and nothing dispatched reaches it.
+        result = lint(self.DIR, [self.DIR / "good_not_dispatched.py"],
+                      checkers=["concurrency-discipline"])
+        assert result.fresh == []
+
+    def test_dispatcher_subclasses_inherit_the_obligation(self, lint):
+        result = lint(self.DIR, [self.DIR / "bad_subclass_attr.py"],
+                      checkers=["concurrency-discipline"])
+        assert _keys(result.fresh) == {
+            "concurrency-discipline:bad_subclass_attr.py:LintScheduler.dispatch:_seen"
+        }
+
+
+class TestShimFidelity:
+    DIR = FIXTURES / "shim_fidelity"
+
+    def test_flags_logic_in_a_shim_module(self, lint):
+        result = lint(self.DIR, [self.DIR / "bad_shim_logic.py"],
+                      checkers=["shim-fidelity"])
+        assert _keys(result.fresh) == {
+            "shim-fidelity:bad_shim_logic.py:module:try#1",
+            "shim-fidelity:bad_shim_logic.py:verify:if#1",
+        }
+
+    def test_flags_shim_classes_and_their_subclasses(self, lint):
+        # OldVerifier warns DeprecationWarning, so it is a shim; the
+        # subclass TunedVerifier inherits the obligation.  The module's
+        # ordinary make_workspace function is untouched.
+        result = lint(self.DIR, [self.DIR / "bad_shim_class.py"],
+                      checkers=["shim-fidelity"])
+        assert _keys(result.fresh) == {
+            "shim-fidelity:bad_shim_class.py:OldVerifier.verify:for#1",
+            "shim-fidelity:bad_shim_class.py:OldVerifier.verify:if#1",
+            "shim-fidelity:bad_shim_class.py:TunedVerifier.tuned:while#1",
+        }
+
+    def test_symbols_are_line_independent_ordinals(self, lint, tmp_path):
+        # Prepending a comment block moves every line; the baseline keys
+        # must not move with them.
+        source = (self.DIR / "bad_shim_logic.py").read_text()
+        doc_end = source.index('"""', 3) + len('"""\n')
+        (tmp_path / "bad_shim_logic.py").write_text(
+            source[:doc_end] + "\n# padding\n# padding\n# padding\n"
+            + source[doc_end:]
+        )
+        result = lint(tmp_path, checkers=["shim-fidelity"])
+        assert _keys(result.fresh) == {
+            "shim-fidelity:bad_shim_logic.py:module:try#1",
+            "shim-fidelity:bad_shim_logic.py:verify:if#1",
+        }
+
+    def test_pure_delegation_is_clean(self, lint):
+        result = lint(self.DIR, [self.DIR / "good_shim.py"],
+                      checkers=["shim-fidelity"])
+        assert result.fresh == []

@@ -16,6 +16,9 @@ CHECKER_IDS = (
     "pickle-safety",
     "deadline-discipline",
     "cache-format-discipline",
+    "budget-flow",
+    "concurrency-discipline",
+    "shim-fidelity",
 )
 
 
@@ -55,13 +58,23 @@ def test_list_checkers(capsys):
 
 
 def test_ratchet_workflow_exit_codes(tmp_path):
+    import json
+
     target = tmp_path / "net.py"
+    baseline = tmp_path / "baseline.json"
     shutil.copy(FIXTURES / "digest_coverage" / "bad_external_asns.py", target)
     base = ("--root", tmp_path, "--no-cache", "--checker", "digest-coverage",
-            "--baseline", tmp_path / "baseline.json", tmp_path)
+            "--baseline", baseline, tmp_path)
 
     assert _run(*base) == 1                        # fresh violation
-    assert _run("--update-baseline", *base) == 0   # adopted as known debt
+    # Shrink-only: --update-baseline does NOT adopt the fresh finding.
+    assert _run("--update-baseline", *base) == 1
+    assert json.loads(baseline.read_text())["findings"] == []
+
+    # Adoption is a manual, reviewed edit of the baseline file.
+    baseline.write_text(json.dumps(
+        {"findings": ["digest-coverage:net.py:Network.external_asns"]}
+    ))
     assert _run(*base) == 0                        # baselined: gate passes
 
     shutil.copy(FIXTURES / "digest_coverage" / "good_covered.py", target)
@@ -112,3 +125,44 @@ def test_lightyear_lint_subcommand(tmp_path):
     )
     assert proc.returncode == 1
     assert "digest-coverage" in proc.stdout
+
+
+def test_jobs_flag_values(tmp_path):
+    shutil.copy(FIXTURES / "digest_coverage" / "good_covered.py", tmp_path / "m.py")
+    base = ("--root", tmp_path, "--no-cache", tmp_path)
+    assert _run("--jobs", "2", *base) == 0
+    assert _run("--jobs", "auto", *base) == 0
+    assert _run("--jobs", "nope", *base) == 2   # usage error, not a crash
+    assert _run("--jobs", "-3", *base) == 2
+
+
+def _option_strings(parser):
+    return {
+        opt
+        for action in parser._actions
+        for opt in action.option_strings
+    }
+
+
+def test_entry_point_parity():
+    """`python -m repro.analysis` and `lightyear lint` must expose the
+    same flags — both build on add_lint_arguments, and this pins that
+    neither grows a private option the other lacks."""
+    import argparse
+
+    from repro.analysis.cli import add_lint_arguments
+    from repro.cli import build_parser
+
+    standalone = argparse.ArgumentParser()
+    add_lint_arguments(standalone)
+
+    subparsers = next(
+        action for action in build_parser()._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    lint_parser = subparsers.choices["lint"]
+
+    standalone_opts = _option_strings(standalone)
+    lint_opts = _option_strings(lint_parser)
+    assert "--jobs" in standalone_opts
+    assert standalone_opts == lint_opts

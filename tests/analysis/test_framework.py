@@ -155,6 +155,15 @@ class TestEngineCaching:
         assert "syntax error" in finding.message
 
 
+def _adopt_baseline(path: Path, keys) -> None:
+    """Simulate historical debt: adopting into the baseline is a manual,
+    reviewed edit — ``--update-baseline`` only ever shrinks the file."""
+    path.write_text(json.dumps({"findings": sorted(keys)}))
+
+
+BAD_KEY = "digest-coverage:net.py:Network.external_asns"
+
+
 class TestBaselineRatchet:
     def test_fresh_then_baselined_then_resolved(self, lint, tmp_path):
         target = tmp_path / "net.py"
@@ -165,13 +174,8 @@ class TestBaselineRatchet:
         first = lint(tmp_path, **opts)
         assert first.failed and len(first.fresh) == 1
 
-        adopted = lint(tmp_path, update_baseline=True, **opts)
-        assert not adopted.failed and len(adopted.baselined) == 1
-        assert json.loads(baseline.read_text())["findings"] == [
-            "digest-coverage:net.py:Network.external_asns"
-        ]
-
-        # Known debt passes the gate but stays visible.
+        # Known debt (manually adopted) passes the gate but stays visible.
+        _adopt_baseline(baseline, [f.key() for f in first.fresh])
         again = lint(tmp_path, **opts)
         assert not again.failed
         assert len(again.baselined) == 1 and again.fresh == []
@@ -180,17 +184,71 @@ class TestBaselineRatchet:
         shutil.copy(GOOD_DIGEST, target)
         fixed = lint(tmp_path, **opts)
         assert fixed.fresh == [] and fixed.baselined == []
-        assert fixed.resolved == ["digest-coverage:net.py:Network.external_asns"]
+        assert fixed.resolved == [BAD_KEY]
 
         ratcheted = lint(tmp_path, update_baseline=True, **opts)
         assert ratcheted.resolved == []
         assert json.loads(baseline.read_text())["findings"] == []
 
+    def test_update_baseline_never_adopts_fresh_findings(self, lint, tmp_path):
+        # The shrink-only contract: with fresh findings present,
+        # --update-baseline leaves them fresh (the run still fails) and
+        # the written baseline does not contain them.
+        shutil.copy(BAD_DIGEST, tmp_path / "net.py")
+        baseline = tmp_path / "baseline.json"
+        opts = dict(checkers=["digest-coverage"], baseline_file=baseline)
+
+        result = lint(tmp_path, update_baseline=True, **opts)
+        assert result.failed
+        assert [f.key() for f in result.fresh] == [BAD_KEY]
+        assert json.loads(baseline.read_text())["findings"] == []
+
+        # And the next run still fails: nothing was buried.
+        assert lint(tmp_path, **opts).failed
+
+    def test_update_baseline_shrinks_but_keeps_live_debt(self, lint, tmp_path):
+        shutil.copy(BAD_DIGEST, tmp_path / "net.py")
+        baseline = tmp_path / "baseline.json"
+        stale = "digest-coverage:gone.py:Old.field"
+        _adopt_baseline(baseline, [BAD_KEY, stale])
+        opts = dict(checkers=["digest-coverage"], baseline_file=baseline)
+
+        result = lint(tmp_path, update_baseline=True, **opts)
+        assert not result.failed and len(result.baselined) == 1
+        # The stale entry is dropped, the live one is kept: shrink-only.
+        assert json.loads(baseline.read_text())["findings"] == [BAD_KEY]
+
+    def test_update_baseline_composes_with_update_manifest(self, lint, tmp_path):
+        # Both maintenance flags in one run: the manifest is regenerated,
+        # the baseline shrinks, and a fresh finding still fails the run —
+        # neither flag can be used to bury it.
+        shutil.copy(BAD_DIGEST, tmp_path / "net.py")
+        # The manifest is only written when something under analysis
+        # actually persists a versioned cache.
+        (tmp_path / "store.py").write_text("CACHE_FORMAT = 1\n")
+        baseline = tmp_path / "baseline.json"
+        manifest = tmp_path / "cache-shape.json"
+        stale = "digest-coverage:gone.py:Old.field"
+        _adopt_baseline(baseline, [stale])
+
+        result = lint(
+            tmp_path,
+            checkers=["digest-coverage", "cache-format-discipline"],
+            baseline_file=baseline,
+            update_baseline=True,
+            manifest_file=manifest,
+            update_manifest=True,
+        )
+        assert manifest.exists()  # --update-manifest took effect
+        assert json.loads(baseline.read_text())["findings"] == []  # shrunk
+        assert result.failed  # the fresh finding survived both flags
+        assert [f.key() for f in result.fresh] == [BAD_KEY]
+
     def test_baseline_does_not_cover_new_findings_at_other_sites(self, lint, tmp_path):
         shutil.copy(BAD_DIGEST, tmp_path / "net.py")
         baseline = tmp_path / "baseline.json"
         opts = dict(checkers=["digest-coverage"], baseline_file=baseline)
-        lint(tmp_path, update_baseline=True, **opts)
+        _adopt_baseline(baseline, [BAD_KEY])
 
         # A second, distinct gap gets a new key and fails the run even
         # though the first one is baselined.
@@ -210,7 +268,7 @@ class TestBaselineRatchet:
         shutil.copy(BAD_DIGEST, tmp_path / "net.py")
         baseline = tmp_path / "baseline.json"
         opts = dict(checkers=["digest-coverage"], baseline_file=baseline)
-        lint(tmp_path, update_baseline=True, **opts)
+        _adopt_baseline(baseline, [BAD_KEY])
 
         # Shift every line down; the finding key must still match.
         (tmp_path / "net.py").write_text(
